@@ -1,0 +1,304 @@
+//! A load balancer: fans requests out over replica accelerators (§4.1's
+//! "replicated accelerator with internal load balancing for higher
+//! bandwidth").
+//!
+//! The balancer holds SEND capabilities to its replicas under environment
+//! names `replica0`, `replica1`, … (the kernel wires them; the balancer
+//! discovers however many exist). Requests are forwarded with fresh
+//! internal tags; replica responses are matched back to the original
+//! request and relayed to the client with the client's own tag — so the
+//! client cannot tell it is not talking to a single, faster accelerator.
+
+use crate::accelerator::{Accelerator, StateError};
+use crate::os::TileOs;
+use apiary_cap::CapRef;
+use apiary_monitor::wire;
+use apiary_noc::Delivered;
+use std::collections::HashMap;
+
+/// Replica selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Balance {
+    /// Strict rotation.
+    RoundRobin,
+    /// Pick the replica with the fewest outstanding requests (ties go to
+    /// the lowest index).
+    LeastOutstanding,
+}
+
+/// The load-balancer accelerator.
+pub struct BalancerAccel {
+    policy: Balance,
+    /// Discovered replica capabilities (refreshed from the environment on
+    /// every tick so reconfiguration can re-point them).
+    replicas: Vec<CapRef>,
+    outstanding: Vec<u32>,
+    rr: usize,
+    /// In-flight requests: internal tag -> original request.
+    pending: HashMap<u64, (usize, Delivered)>,
+    next_tag: u64,
+    /// Requests forwarded to replicas.
+    pub forwarded: u64,
+    /// Responses relayed back to clients.
+    pub relayed: u64,
+    /// Requests dropped because no replica capability exists.
+    pub no_replica_drops: u64,
+    /// Per-replica forward counts (for balance checks).
+    pub per_replica: Vec<u64>,
+}
+
+impl BalancerAccel {
+    /// Creates a balancer with the given policy.
+    pub fn new(policy: Balance) -> BalancerAccel {
+        BalancerAccel {
+            policy,
+            replicas: Vec::new(),
+            outstanding: Vec::new(),
+            rr: 0,
+            pending: HashMap::new(),
+            next_tag: 0,
+            forwarded: 0,
+            relayed: 0,
+            no_replica_drops: 0,
+            per_replica: Vec::new(),
+        }
+    }
+
+    fn refresh_replicas(&mut self, os: &dyn TileOs) {
+        let mut found = Vec::new();
+        for i in 0.. {
+            match os.cap_env().get(&format!("replica{i}")) {
+                Some(cap) => found.push(cap),
+                None => break,
+            }
+        }
+        if found.len() != self.replicas.len() {
+            self.outstanding = vec![0; found.len()];
+            self.per_replica = vec![0; found.len()];
+            self.rr = 0;
+        }
+        self.replicas = found;
+    }
+
+    fn pick(&mut self) -> Option<usize> {
+        if self.replicas.is_empty() {
+            return None;
+        }
+        Some(match self.policy {
+            Balance::RoundRobin => {
+                let i = self.rr % self.replicas.len();
+                self.rr = self.rr.wrapping_add(1);
+                i
+            }
+            Balance::LeastOutstanding => self
+                .outstanding
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, o)| **o)
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+        })
+    }
+}
+
+impl Accelerator for BalancerAccel {
+    fn name(&self) -> &'static str {
+        "balancer"
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+
+    fn tick(&mut self, os: &mut dyn TileOs) {
+        self.refresh_replicas(os);
+        while let Some(d) = os.recv() {
+            if let Some((replica, original)) = self.pending.remove(&d.msg.tag) {
+                // A replica answered (possibly with an error — relay it,
+                // the client decides what to do).
+                if replica < self.outstanding.len() {
+                    self.outstanding[replica] = self.outstanding[replica].saturating_sub(1);
+                }
+                let _ = os.reply(&original, d.msg.kind, d.msg.class, d.msg.payload);
+                self.relayed += 1;
+            } else if d.msg.kind == wire::KIND_REQUEST {
+                let Some(replica) = self.pick() else {
+                    self.no_replica_drops += 1;
+                    continue;
+                };
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                let cap = self.replicas[replica];
+                match os.send(
+                    cap,
+                    wire::KIND_REQUEST,
+                    tag,
+                    d.msg.class,
+                    d.msg.payload.clone(),
+                ) {
+                    Ok(()) => {
+                        self.outstanding[replica] += 1;
+                        self.per_replica[replica] += 1;
+                        self.forwarded += 1;
+                        self.pending.insert(tag, (replica, d));
+                    }
+                    Err(_) => {
+                        // Backpressure toward the replica: bounce an
+                        // overload error to the client.
+                        let _ = os.reply(
+                            &d,
+                            wire::KIND_ERROR,
+                            apiary_noc::TrafficClass::Control,
+                            vec![wire::err::OVERLOAD],
+                        );
+                    }
+                }
+            }
+            // Unsolicited non-request traffic is dropped.
+        }
+    }
+
+    fn is_preemptible(&self) -> bool {
+        false
+    }
+
+    fn restore_state(&mut self, _state: &[u8]) -> Result<(), StateError> {
+        Err(StateError::NotPreemptible)
+    }
+}
+
+/// Creates a round-robin balancer.
+pub fn balancer() -> BalancerAccel {
+    BalancerAccel::new(Balance::RoundRobin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::test_os::MockOs;
+    use apiary_noc::{Message, NodeId, TrafficClass};
+    use apiary_sim::Cycle;
+
+    fn request(from: u16, tag: u64) -> Delivered {
+        let mut msg = Message::new(
+            NodeId(from),
+            NodeId(0),
+            TrafficClass::Request,
+            vec![tag as u8],
+        );
+        msg.kind = wire::KIND_REQUEST;
+        msg.tag = tag;
+        Delivered {
+            msg,
+            injected_at: Cycle(0),
+            delivered_at: Cycle(0),
+        }
+    }
+
+    fn response(tag: u64, payload: Vec<u8>) -> Delivered {
+        let mut msg = Message::new(NodeId(5), NodeId(0), TrafficClass::Request, payload);
+        msg.kind = wire::KIND_RESPONSE;
+        msg.tag = tag;
+        Delivered {
+            msg,
+            injected_at: Cycle(0),
+            delivered_at: Cycle(0),
+        }
+    }
+
+    fn cap(i: u16) -> CapRef {
+        CapRef {
+            index: i,
+            generation: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_requests() {
+        let mut os = MockOs::new();
+        os.grant("replica0", cap(1));
+        os.grant("replica1", cap(2));
+        let mut b = balancer();
+        for tag in 0..6 {
+            os.deliver(request(9, tag));
+        }
+        b.tick(&mut os);
+        assert_eq!(b.forwarded, 6);
+        assert_eq!(b.per_replica, vec![3, 3]);
+        // Alternating caps.
+        let caps: Vec<u16> = os.cap_sends.iter().map(|(c, _, _, _)| c.index).collect();
+        assert_eq!(caps, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn responses_return_to_original_clients() {
+        let mut os = MockOs::new();
+        os.grant("replica0", cap(1));
+        let mut b = balancer();
+        os.deliver(request(7, 100));
+        os.deliver(request(8, 200));
+        b.tick(&mut os);
+        // Replica answers the internal tags (0 and 1), out of order.
+        let internal: Vec<u64> = os.cap_sends.iter().map(|(_, _, t, _)| *t).collect();
+        os.deliver(response(internal[1], vec![0xB]));
+        os.deliver(response(internal[0], vec![0xA]));
+        b.tick(&mut os);
+        assert_eq!(b.relayed, 2);
+        // MockOs::reply records (dst, kind, class, payload); order follows
+        // the replica responses.
+        assert_eq!(os.sent[0].0, NodeId(8));
+        assert_eq!(os.sent[0].3, vec![0xB]);
+        assert_eq!(os.sent[1].0, NodeId(7));
+        assert_eq!(os.sent[1].3, vec![0xA]);
+    }
+
+    #[test]
+    fn least_outstanding_prefers_idle_replica() {
+        let mut os = MockOs::new();
+        os.grant("replica0", cap(1));
+        os.grant("replica1", cap(2));
+        let mut b = BalancerAccel::new(Balance::LeastOutstanding);
+        // Three requests: r0, r1, then (both at 1) r0 again.
+        for tag in 0..3 {
+            os.deliver(request(9, tag));
+        }
+        b.tick(&mut os);
+        assert_eq!(b.per_replica, vec![2, 1]);
+        // Replica 1's request completes; the next request goes to replica 1.
+        let internal_r1 = os.cap_sends[1].2;
+        os.deliver(response(internal_r1, vec![]));
+        os.deliver(request(9, 3));
+        b.tick(&mut os);
+        assert_eq!(b.per_replica, vec![2, 2]);
+    }
+
+    #[test]
+    fn no_replicas_drops_and_counts() {
+        let mut os = MockOs::new();
+        let mut b = balancer();
+        os.deliver(request(9, 1));
+        b.tick(&mut os);
+        assert_eq!(b.no_replica_drops, 1);
+        assert!(os.cap_sends.is_empty());
+    }
+
+    #[test]
+    fn error_responses_are_relayed() {
+        let mut os = MockOs::new();
+        os.grant("replica0", cap(1));
+        let mut b = balancer();
+        os.deliver(request(7, 42));
+        b.tick(&mut os);
+        let internal = os.cap_sends[0].2;
+        let mut err = response(internal, vec![wire::err::TARGET_FAILED]);
+        err.msg.kind = wire::KIND_ERROR;
+        os.deliver(err);
+        b.tick(&mut os);
+        assert_eq!(os.sent[0].1, wire::KIND_ERROR);
+        assert_eq!(os.sent[0].0, NodeId(7));
+    }
+}

@@ -1,0 +1,179 @@
+//! The third-party compression accelerator of §2.
+//!
+//! A reusable stage: compresses (or decompresses) its request payload and
+//! replies, or forwards downstream in pipeline mode. Crucially, this
+//! accelerator knows nothing about video, memory partitioning, or who its
+//! neighbours are — the composition happens entirely through capabilities,
+//! which is the paper's composability argument.
+
+use crate::accelerator::{ServerAccel, Service, ServiceAction, ServiceReply};
+use crate::codec::lz;
+use crate::os::TileOs;
+use apiary_monitor::wire;
+use apiary_noc::{Delivered, TrafficClass};
+
+/// Operating direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Compress request payloads.
+    Compress,
+    /// Decompress request payloads.
+    Decompress,
+}
+
+/// Application error codes for the compressor.
+pub mod cerr {
+    /// Decompression input was corrupt.
+    pub const CORRUPT: u8 = 0x20;
+}
+
+/// The compression service.
+#[derive(Debug, Clone)]
+pub struct CompressorService {
+    /// Direction.
+    pub mode: Mode,
+    /// Requests processed.
+    pub blocks: u64,
+    /// Bytes in.
+    pub bytes_in: u64,
+    /// Bytes out.
+    pub bytes_out: u64,
+}
+
+impl CompressorService {
+    /// Creates a compressor in the given mode.
+    pub fn new(mode: Mode) -> CompressorService {
+        CompressorService {
+            mode,
+            blocks: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+        }
+    }
+
+    /// Observed compression ratio (in/out).
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_out == 0 {
+            0.0
+        } else {
+            self.bytes_in as f64 / self.bytes_out as f64
+        }
+    }
+}
+
+impl Service for CompressorService {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            Mode::Compress => "compressor",
+            Mode::Decompress => "decompressor",
+        }
+    }
+
+    fn serve(&mut self, req: &Delivered, os: &mut dyn TileOs) -> ServiceAction {
+        let input = &req.msg.payload;
+        let out = match self.mode {
+            Mode::Compress => lz::compress(input),
+            Mode::Decompress => match lz::decompress(input) {
+                Ok(d) => d,
+                Err(_) => return ServiceAction::Reply(ServiceReply::error(cerr::CORRUPT)),
+            },
+        };
+        self.blocks += 1;
+        self.bytes_in += input.len() as u64;
+        self.bytes_out += out.len() as u64;
+        let cost = lz::compress_cost_cycles(input.len());
+        if let Some(next) = os.cap_env().get("next") {
+            ServiceAction::Forward {
+                cap: next,
+                kind: wire::KIND_REQUEST,
+                class: TrafficClass::Bulk,
+                payload: out,
+                cost_cycles: cost,
+            }
+        } else {
+            ServiceAction::Reply(ServiceReply {
+                kind: wire::KIND_RESPONSE,
+                class: TrafficClass::Bulk,
+                payload: out,
+                cost_cycles: cost,
+            })
+        }
+    }
+}
+
+/// The compressor as an accelerator.
+pub type CompressorAccel = ServerAccel<CompressorService>;
+
+/// Creates a compressing accelerator.
+pub fn compressor() -> CompressorAccel {
+    ServerAccel::new(CompressorService::new(Mode::Compress))
+}
+
+/// Creates a decompressing accelerator.
+pub fn decompressor() -> CompressorAccel {
+    ServerAccel::new(CompressorService::new(Mode::Decompress))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::Accelerator;
+    use crate::os::test_os::MockOs;
+    use apiary_noc::{Message, NodeId};
+    use apiary_sim::Cycle;
+
+    fn deliver(os: &mut MockOs, payload: Vec<u8>) {
+        let mut msg = Message::new(NodeId(1), NodeId(0), TrafficClass::Request, payload);
+        msg.kind = wire::KIND_REQUEST;
+        os.deliver(Delivered {
+            msg,
+            injected_at: Cycle(0),
+            delivered_at: Cycle(0),
+        });
+    }
+
+    fn run_to_reply(a: &mut CompressorAccel, os: &mut MockOs, max: u64) {
+        for _ in 0..max {
+            a.tick(os);
+            os.advance(1);
+            if !os.sent.is_empty() {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn compresses_and_ratio_tracks() {
+        let mut os = MockOs::new();
+        let data = b"abcabcabcabc".repeat(100).to_vec();
+        deliver(&mut os, data.clone());
+        let mut a = compressor();
+        run_to_reply(&mut a, &mut os, 10_000);
+        assert_eq!(os.sent.len(), 1);
+        let compressed = &os.sent[0].3;
+        assert!(compressed.len() < data.len());
+        assert_eq!(lz::decompress(compressed).expect("well formed"), data);
+        assert!(a.service().ratio() > 1.0);
+    }
+
+    #[test]
+    fn decompressor_inverts() {
+        let data = b"some structured data, some structured data".repeat(20);
+        let compressed = lz::compress(&data);
+        let mut os = MockOs::new();
+        deliver(&mut os, compressed);
+        let mut a = decompressor();
+        run_to_reply(&mut a, &mut os, 10_000);
+        assert_eq!(os.sent[0].3, data);
+    }
+
+    #[test]
+    fn corrupt_input_to_decompressor_errors() {
+        let mut os = MockOs::new();
+        deliver(&mut os, vec![0xFF, 0xFF]);
+        let mut a = decompressor();
+        run_to_reply(&mut a, &mut os, 100);
+        assert_eq!(os.sent[0].1, wire::KIND_ERROR);
+        assert_eq!(os.sent[0].3, vec![cerr::CORRUPT]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Echo: replies with its request payload. The latency yardstick.
+
+use crate::accelerator::{Service, ServiceAction, ServiceReply};
+use crate::os::TileOs;
+use apiary_noc::Delivered;
+
+/// Replies to every request with the request payload after a fixed compute
+/// cost.
+#[derive(Debug, Clone)]
+pub struct EchoService {
+    /// Cycles charged per request.
+    pub cost_cycles: u64,
+}
+
+impl Default for EchoService {
+    fn default() -> Self {
+        EchoService { cost_cycles: 1 }
+    }
+}
+
+impl Service for EchoService {
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+
+    fn serve(&mut self, req: &Delivered, _os: &mut dyn TileOs) -> ServiceAction {
+        ServiceAction::Reply(ServiceReply::ok(req.msg.payload.clone(), self.cost_cycles))
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        // Echo is stateless, hence trivially preemptible.
+        Some(Vec::new())
+    }
+
+    fn restore(&mut self, _state: &[u8]) -> Result<(), crate::accelerator::StateError> {
+        Ok(())
+    }
+}
+
+/// An [`crate::accelerator::Accelerator`] wrapping [`EchoService`].
+pub type EchoAccel = crate::accelerator::ServerAccel<EchoService>;
+
+/// Creates an echo accelerator with the given per-request cost.
+pub fn echo(cost_cycles: u64) -> EchoAccel {
+    crate::accelerator::ServerAccel::new(EchoService { cost_cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::Accelerator;
+    use crate::os::test_os::MockOs;
+    use apiary_monitor::wire;
+    use apiary_noc::{Message, NodeId, TrafficClass};
+    use apiary_sim::Cycle;
+
+    #[test]
+    fn echoes_payload() {
+        let mut os = MockOs::new();
+        let mut msg = Message::new(NodeId(4), NodeId(0), TrafficClass::Request, vec![1, 2, 3]);
+        msg.kind = wire::KIND_REQUEST;
+        os.deliver(Delivered {
+            msg,
+            injected_at: Cycle(0),
+            delivered_at: Cycle(0),
+        });
+        let mut a = echo(1);
+        a.tick(&mut os);
+        os.advance(1);
+        a.tick(&mut os);
+        assert_eq!(os.sent.len(), 1);
+        assert_eq!(os.sent[0].3, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn echo_is_preemptible() {
+        let a = echo(1);
+        assert!(a.is_preemptible());
+        assert!(a.save_state().is_some());
+    }
+}

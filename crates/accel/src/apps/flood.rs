@@ -1,0 +1,141 @@
+//! A misbehaving accelerator that floods a target (§4.5's resource
+//! exhaustion threat).
+//!
+//! The flooder sends as fast as its monitor lets it. With no rate limiting
+//! and no QoS it can starve a shared service; the isolation experiments
+//! (E6) turn Apiary's defences on and measure the victim's recovery.
+
+use crate::accelerator::{Service, ServiceAction};
+use crate::os::TileOs;
+use apiary_monitor::{wire, SendError};
+use apiary_noc::{Delivered, TrafficClass};
+
+/// Fires requests at the capability named `"target"` in the cap
+/// environment, every cycle, forever.
+#[derive(Debug, Clone)]
+pub struct FlooderService {
+    /// Payload bytes per message (junk fill) when no template is set.
+    pub payload_bytes: usize,
+    /// Exact payload to send instead of junk — lets the flooder pose as a
+    /// legitimate-but-abusive client of a real protocol (e.g. KV PUTs).
+    pub template: Option<Vec<u8>>,
+    /// Traffic class used for the flood.
+    pub class: TrafficClass,
+    /// Messages successfully handed to the monitor.
+    pub sent: u64,
+    /// Sends refused by the monitor (caps, rate limit, backpressure).
+    pub refused: u64,
+    /// Refusals that were rate-limit denials specifically.
+    pub rate_limited: u64,
+    /// Upper bound on send attempts per cycle (a real accelerator's issue
+    /// width; also guards the simulator against infinite loops).
+    pub burst_per_cycle: usize,
+    tag: u64,
+}
+
+impl FlooderService {
+    /// Creates a flooder with the given message size.
+    pub fn new(payload_bytes: usize) -> FlooderService {
+        FlooderService {
+            payload_bytes,
+            template: None,
+            class: TrafficClass::Bulk,
+            sent: 0,
+            refused: 0,
+            rate_limited: 0,
+            burst_per_cycle: 16,
+            tag: 0,
+        }
+    }
+
+    fn blast(&mut self, os: &mut dyn TileOs) {
+        let Some(target) = os.cap_env().get("target") else {
+            return;
+        };
+        // Try to send as many messages as the monitor will take this cycle,
+        // up to the issue width.
+        for _ in 0..self.burst_per_cycle {
+            let body = match &self.template {
+                Some(t) => t.clone(),
+                None => vec![0x55; self.payload_bytes],
+            };
+            match os.send(target, wire::KIND_REQUEST, self.tag, self.class, body) {
+                Ok(()) => {
+                    self.sent += 1;
+                    self.tag += 1;
+                }
+                Err(e) => {
+                    self.refused += 1;
+                    if e == SendError::RateLimited {
+                        self.rate_limited += 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl Service for FlooderService {
+    fn name(&self) -> &'static str {
+        "flooder"
+    }
+
+    fn serve(&mut self, _req: &Delivered, os: &mut dyn TileOs) -> ServiceAction {
+        // Responses (or errors) from the victim are ignored; keep flooding.
+        self.blast(os);
+        ServiceAction::Done
+    }
+
+    fn idle(&mut self, os: &mut dyn TileOs) {
+        self.blast(os);
+    }
+}
+
+/// The flooder as an accelerator.
+pub type FlooderAccel = crate::accelerator::ServerAccel<FlooderService>;
+
+/// Creates a flooding accelerator.
+pub fn flooder(payload_bytes: usize) -> FlooderAccel {
+    crate::accelerator::ServerAccel::new(FlooderService::new(payload_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::Accelerator;
+    use crate::os::test_os::MockOs;
+    use apiary_cap::CapRef;
+
+    #[test]
+    fn floods_when_granted_a_target() {
+        let mut os = MockOs::new();
+        os.grant(
+            "target",
+            CapRef {
+                index: 1,
+                generation: 0,
+            },
+        );
+        let mut a = flooder(64);
+        for _ in 0..10 {
+            a.tick(&mut os);
+            os.advance(1);
+        }
+        // MockOs never refuses, so every tick sends a full burst.
+        assert_eq!(a.service().sent, 10 * 16);
+        assert!(!os.cap_sends.is_empty());
+    }
+
+    #[test]
+    fn quiet_without_a_target() {
+        let mut os = MockOs::new();
+        let mut a = flooder(64);
+        for _ in 0..10 {
+            a.tick(&mut os);
+            os.advance(1);
+        }
+        assert_eq!(a.service().sent, 0);
+        assert!(os.cap_sends.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! A hashing engine: FNV-1a over the request payload.
+
+use crate::accelerator::{ServerAccel, Service, ServiceAction, ServiceReply};
+use crate::os::TileOs;
+use apiary_noc::Delivered;
+
+/// Computes the 64-bit FNV-1a hash of `data`.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes request payloads; replies with the 8-byte digest.
+#[derive(Debug, Clone, Default)]
+pub struct HashService {
+    /// Requests served.
+    pub hashed: u64,
+}
+
+impl Service for HashService {
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+
+    fn serve(&mut self, req: &Delivered, _os: &mut dyn TileOs) -> ServiceAction {
+        self.hashed += 1;
+        let digest = fnv1a(&req.msg.payload);
+        // A pipelined hasher eats 8 bytes/cycle.
+        let cost = 4 + (req.msg.payload.len() as u64) / 8;
+        ServiceAction::Reply(ServiceReply::ok(digest.to_le_bytes().to_vec(), cost))
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        Some(self.hashed.to_le_bytes().to_vec())
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), crate::accelerator::StateError> {
+        let bytes: [u8; 8] = state
+            .try_into()
+            .map_err(|_| crate::accelerator::StateError::Corrupt)?;
+        self.hashed = u64::from_le_bytes(bytes);
+        Ok(())
+    }
+}
+
+/// The hash engine as an accelerator.
+pub type HashAccel = ServerAccel<HashService>;
+
+/// Creates a hash accelerator.
+pub fn hasher() -> HashAccel {
+    ServerAccel::new(HashService::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a reference vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(fnv1a(b"x"), fnv1a(b"y"));
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut s = HashService { hashed: 42 };
+        let snap = s.save().expect("preemptible");
+        s.hashed = 0;
+        s.restore(&snap).expect("well formed");
+        assert_eq!(s.hashed, 42);
+        assert!(s.restore(&[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! An accelerator that does nothing.
+//!
+//! Useful as a placeholder occupant of a tile whose traffic is driven from
+//! outside (test harnesses, external load generators): deliveries stay in
+//! the monitor inbox for the driver to collect.
+
+use crate::accelerator::{Accelerator, StateError};
+use crate::os::TileOs;
+
+/// The do-nothing accelerator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdleAccel;
+
+/// Creates an idle accelerator.
+pub fn idle() -> IdleAccel {
+    IdleAccel
+}
+
+impl Accelerator for IdleAccel {
+    fn name(&self) -> &'static str {
+        "idle"
+    }
+
+    fn tick(&mut self, _os: &mut dyn TileOs) {}
+
+    fn is_preemptible(&self) -> bool {
+        true
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), StateError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(StateError::Corrupt)
+        }
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::test_os::MockOs;
+
+    #[test]
+    fn does_nothing() {
+        let mut os = MockOs::new();
+        let mut a = idle();
+        for _ in 0..10 {
+            a.tick(&mut os);
+            os.advance(1);
+        }
+        assert!(os.sent.is_empty());
+        assert!(os.cap_sends.is_empty());
+        assert!(os.faults.is_empty());
+    }
+
+    #[test]
+    fn trivially_preemptible() {
+        let mut a = idle();
+        let s = a.save_state().expect("preemptible");
+        a.restore_state(&s).expect("own snapshot");
+        assert!(a.restore_state(&[1]).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! The video encoding service from the paper's motivating pipeline (§2).
+//!
+//! Requests carry a raw frame (`[width: u32][height: u32][pixels...]`);
+//! the service encodes it with [`crate::codec::video`] and either replies
+//! with the stream or — when the kernel granted a `"next"` capability —
+//! forwards it to the next pipeline stage (e.g. a third-party compressor),
+//! tagging it with the original request tag so the pipeline's egress can
+//! correlate.
+
+use crate::accelerator::{ServerAccel, Service, ServiceAction, ServiceReply};
+use crate::codec::video::{self, Frame};
+use crate::os::TileOs;
+use apiary_monitor::wire;
+use apiary_noc::{Delivered, TrafficClass};
+
+/// Encodes a frame request payload.
+pub fn encode_request(frame: &Frame) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + frame.pixels.len());
+    p.extend_from_slice(&frame.width.to_le_bytes());
+    p.extend_from_slice(&frame.height.to_le_bytes());
+    p.extend_from_slice(&frame.pixels);
+    p
+}
+
+/// Decodes a frame request payload.
+pub fn decode_request(payload: &[u8]) -> Option<Frame> {
+    if payload.len() < 8 {
+        return None;
+    }
+    let width = u32::from_le_bytes(payload[0..4].try_into().ok()?);
+    let height = u32::from_le_bytes(payload[4..8].try_into().ok()?);
+    Frame::new(width, height, payload[8..].to_vec()).ok()
+}
+
+/// Application error codes for the video service.
+pub mod verr {
+    /// The request payload did not parse as a frame.
+    pub const BAD_FRAME: u8 = 0x10;
+}
+
+/// The video encoding service.
+#[derive(Debug, Clone)]
+pub struct VideoEncoderService {
+    /// Quantisation shift (0 = lossless).
+    pub quant_shift: u32,
+    /// Frames encoded.
+    pub frames: u64,
+    /// Bytes in / bytes out, for compression accounting.
+    pub bytes_in: u64,
+    /// Encoded bytes produced.
+    pub bytes_out: u64,
+}
+
+impl VideoEncoderService {
+    /// Creates an encoder.
+    pub fn new(quant_shift: u32) -> VideoEncoderService {
+        VideoEncoderService {
+            quant_shift,
+            frames: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+        }
+    }
+}
+
+impl Service for VideoEncoderService {
+    fn name(&self) -> &'static str {
+        "video-encoder"
+    }
+
+    fn serve(&mut self, req: &Delivered, os: &mut dyn TileOs) -> ServiceAction {
+        let Some(frame) = decode_request(&req.msg.payload) else {
+            return ServiceAction::Reply(ServiceReply::error(verr::BAD_FRAME));
+        };
+        let cost = video::encode_cost_cycles(frame.pixels.len());
+        let stream = video::encode(&frame, self.quant_shift);
+        self.frames += 1;
+        self.bytes_in += frame.pixels.len() as u64;
+        self.bytes_out += stream.len() as u64;
+        if let Some(next) = os.cap_env().get("next") {
+            // Pipeline mode: compute, then forward downstream with the
+            // client's tag intact.
+            ServiceAction::Forward {
+                cap: next,
+                kind: wire::KIND_REQUEST,
+                class: TrafficClass::Bulk,
+                payload: stream,
+                cost_cycles: cost,
+            }
+        } else {
+            ServiceAction::Reply(ServiceReply {
+                kind: wire::KIND_RESPONSE,
+                class: TrafficClass::Bulk,
+                payload: stream,
+                cost_cycles: cost,
+            })
+        }
+    }
+}
+
+/// The video encoder as an accelerator.
+pub type VideoEncoderAccel = ServerAccel<VideoEncoderService>;
+
+/// Creates a video encoder accelerator.
+pub fn video_encoder(quant_shift: u32) -> VideoEncoderAccel {
+    ServerAccel::new(VideoEncoderService::new(quant_shift))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::Accelerator;
+    use crate::os::test_os::MockOs;
+    use apiary_cap::CapRef;
+    use apiary_noc::{Message, NodeId};
+    use apiary_sim::Cycle;
+
+    fn deliver_frame(os: &mut MockOs, frame: &Frame, tag: u64) {
+        let mut msg = Message::new(
+            NodeId(1),
+            NodeId(0),
+            TrafficClass::Request,
+            encode_request(frame),
+        );
+        msg.kind = wire::KIND_REQUEST;
+        msg.tag = tag;
+        os.deliver(Delivered {
+            msg,
+            injected_at: Cycle(0),
+            delivered_at: Cycle(0),
+        });
+    }
+
+    #[test]
+    fn encodes_and_replies() {
+        let mut os = MockOs::new();
+        let frame = Frame::test_pattern(32, 32, 1);
+        deliver_frame(&mut os, &frame, 5);
+        let mut a = video_encoder(0);
+        a.tick(&mut os);
+        // Encoding a 32x32 frame costs 32 + 1024 cycles.
+        os.advance(video::encode_cost_cycles(1024));
+        a.tick(&mut os);
+        assert_eq!(os.sent.len(), 1);
+        let decoded = video::decode(&os.sent[0].3).expect("well formed");
+        assert_eq!(decoded, frame);
+        assert_eq!(a.service().frames, 1);
+    }
+
+    #[test]
+    fn pipeline_mode_forwards_downstream() {
+        let mut os = MockOs::new();
+        let next = CapRef {
+            index: 7,
+            generation: 0,
+        };
+        os.grant("next", next);
+        let frame = Frame::test_pattern(16, 16, 2);
+        deliver_frame(&mut os, &frame, 42);
+        let mut a = video_encoder(0);
+        a.tick(&mut os);
+        assert!(
+            os.cap_sends.is_empty(),
+            "forward waits out the compute cost"
+        );
+        // 16x16 frame: 32 + 256 cycles of encode.
+        for _ in 0..=video::encode_cost_cycles(256) {
+            os.advance(1);
+            a.tick(&mut os);
+        }
+        assert!(os.sent.is_empty());
+        assert_eq!(os.cap_sends.len(), 1);
+        let (cap, kind, tag, payload) = &os.cap_sends[0];
+        assert_eq!(*cap, next);
+        assert_eq!(*kind, wire::KIND_REQUEST);
+        assert_eq!(*tag, 42, "tag follows the pipeline");
+        assert!(video::decode(payload).is_ok());
+    }
+
+    #[test]
+    fn malformed_frame_gets_error_reply() {
+        let mut os = MockOs::new();
+        let mut msg = Message::new(NodeId(1), NodeId(0), TrafficClass::Request, vec![1, 2, 3]);
+        msg.kind = wire::KIND_REQUEST;
+        os.deliver(Delivered {
+            msg,
+            injected_at: Cycle(0),
+            delivered_at: Cycle(0),
+        });
+        let mut a = video_encoder(0);
+        a.tick(&mut os);
+        os.advance(1);
+        a.tick(&mut os);
+        assert_eq!(os.sent.len(), 1);
+        assert_eq!(os.sent[0].1, wire::KIND_ERROR);
+        assert_eq!(os.sent[0].3, vec![verr::BAD_FRAME]);
+    }
+
+    #[test]
+    fn request_codec_roundtrip() {
+        let f = Frame::test_pattern(20, 10, 9);
+        let req = encode_request(&f);
+        assert_eq!(decode_request(&req).expect("well formed"), f);
+        assert!(decode_request(&req[..4]).is_none());
+        // Wrong pixel count.
+        assert!(decode_request(&req[..req.len() - 1]).is_none());
+    }
+}

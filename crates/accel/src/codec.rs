@@ -1,0 +1,4 @@
+//! Real (if modest) codecs so pipeline experiments move real bytes.
+
+pub mod lz;
+pub mod video;

@@ -1,0 +1,144 @@
+//! Property-based tests for the accelerator library.
+
+use apiary_accel::apps::kv::{self, KvStoreService};
+use apiary_accel::codec::{lz, video};
+use apiary_accel::{Service, ServiceAction};
+use apiary_monitor::wire;
+use apiary_noc::{Delivered, Message, NodeId, TrafficClass};
+use apiary_sim::Cycle;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn deliver(badge: u64, payload: Vec<u8>) -> Delivered {
+    let mut msg = Message::new(NodeId(1), NodeId(0), TrafficClass::Request, payload);
+    msg.kind = wire::KIND_REQUEST;
+    msg.badge = badge;
+    Delivered {
+        msg,
+        injected_at: Cycle(0),
+        delivered_at: Cycle(0),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u8, Vec<u8>),
+    Get(u8),
+    Del(u8),
+}
+
+fn arb_kv_op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| KvOp::Put(k, v)),
+        any::<u8>().prop_map(KvOp::Get),
+        any::<u8>().prop_map(KvOp::Del),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The KV store agrees with a plain HashMap for any single-tenant
+    /// operation sequence (sequential consistency of the service logic).
+    #[test]
+    fn kv_matches_hashmap_model(ops in prop::collection::vec(arb_kv_op(), 1..80)) {
+        let mut svc = KvStoreService::new();
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        let mut os = apiary_accel::os::test_os::MockOs::new();
+
+        for op in ops {
+            let (payload, expect_status, expect_val) = match &op {
+                KvOp::Put(k, v) => {
+                    model.insert(*k, v.clone());
+                    (kv::put_req(&[*k], v), kv::status::OK, None)
+                }
+                KvOp::Get(k) => match model.get(k) {
+                    Some(v) => (kv::get_req(&[*k]), kv::status::OK, Some(v.clone())),
+                    None => (kv::get_req(&[*k]), kv::status::NOT_FOUND, None),
+                },
+                KvOp::Del(k) => match model.remove(k) {
+                    Some(_) => (kv::del_req(&[*k]), kv::status::OK, None),
+                    None => (kv::del_req(&[*k]), kv::status::NOT_FOUND, None),
+                },
+            };
+            let action = svc.serve(&deliver(7, payload), &mut os);
+            let reply = match action {
+                ServiceAction::Reply(r) => r,
+                _ => return Err(TestCaseError::fail("kv always replies")),
+            };
+            let (status, value) = kv::parse_resp(&reply.payload).expect("well formed");
+            prop_assert_eq!(status, expect_status, "op {:?}", op);
+            prop_assert_eq!(value.map(|v| v.to_vec()), expect_val);
+        }
+        prop_assert_eq!(svc.tenant_len(7), model.len());
+    }
+
+    /// Save/restore is the identity on the store for any contents.
+    #[test]
+    fn kv_save_restore_identity(
+        entries in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(any::<u8>(), 1..16),
+             prop::collection::vec(any::<u8>(), 0..32)),
+            0..40,
+        )
+    ) {
+        let mut svc = KvStoreService::new();
+        let mut os = apiary_accel::os::test_os::MockOs::new();
+        for (badge, k, v) in &entries {
+            let _ = svc.serve(&deliver(*badge, kv::put_req(k, v)), &mut os);
+        }
+        let snap = svc.save().expect("preemptible");
+        let mut restored = KvStoreService::new();
+        restored.restore(&snap).expect("own snapshot");
+        prop_assert_eq!(restored.len(), svc.len());
+        // Spot-check every entry through the service interface.
+        for (badge, k, v) in &entries {
+            let action = restored.serve(&deliver(*badge, kv::get_req(k)), &mut os);
+            let ServiceAction::Reply(r) = action else {
+                return Err(TestCaseError::fail("kv always replies"));
+            };
+            let (status, value) = kv::parse_resp(&r.payload).expect("well formed");
+            // Later puts may have overwritten; only require presence.
+            prop_assert_eq!(status, kv::status::OK);
+            prop_assert!(value.is_some() || v.is_empty());
+        }
+    }
+
+    /// LZ compression round-trips arbitrary bytes.
+    #[test]
+    fn lz_roundtrip(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&c).expect("own output"), data);
+    }
+
+    /// LZ decompression never panics on arbitrary (mostly corrupt) input.
+    #[test]
+    fn lz_decompress_total(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lz::decompress(&data);
+    }
+
+    /// The video codec round-trips any frame at quant 0 and bounds the
+    /// error at quant k.
+    #[test]
+    fn video_roundtrip_and_quant_bound(
+        w in 1u32..48,
+        h in 1u32..48,
+        seed in any::<u64>(),
+        quant in 0u32..4,
+    ) {
+        let frame = video::Frame::test_pattern(w, h, seed);
+        let lossless = video::decode(&video::encode(&frame, 0)).expect("own output");
+        prop_assert_eq!(&lossless, &frame);
+        let lossy = video::decode(&video::encode(&frame, quant)).expect("own output");
+        let bound = (1u16 << quant) as i16;
+        for (a, b) in frame.pixels.iter().zip(lossy.pixels.iter()) {
+            prop_assert!((*a as i16 - *b as i16).abs() < bound.max(1));
+        }
+    }
+
+    /// Video decode never panics on arbitrary input.
+    #[test]
+    fn video_decode_total(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = video::decode(&data);
+    }
+}

@@ -1,0 +1,183 @@
+//! Criterion microbenchmarks for Apiary's hot paths.
+//!
+//! These complement the experiment binaries (which regenerate the paper's
+//! tables/figures) with statistically solid measurements of the core
+//! primitives: the capability check on the message path, segment allocation
+//! vs paging, NoC transit, monitor send, codecs, and the full-system cycle.
+
+use apiary_bench::scenarios::{client_server, drive, MonitorClient};
+use apiary_cap::{CapKind, CapTable, Capability, EndpointId, MemRange, Rights};
+use apiary_core::SystemConfig;
+use apiary_mem::{AccessKind, AllocPolicy, PagedMmu, SegmentAllocator, SegmentChecker};
+use apiary_noc::{Message, Noc, NocConfig, NodeId, TrafficClass};
+use apiary_sim::SimRng;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_cap_check(c: &mut Criterion) {
+    let mut table = CapTable::new(64);
+    let cap = table
+        .insert_root(Capability::new(
+            CapKind::Endpoint(EndpointId(3)),
+            Rights::SEND,
+        ))
+        .expect("space");
+    c.bench_function("cap/check", |b| {
+        b.iter(|| black_box(table.check(black_box(cap), Rights::SEND)).is_ok())
+    });
+
+    let mem = table
+        .insert_root(Capability::new(
+            CapKind::Memory(MemRange::new(0x10000, 0x10000)),
+            Rights::READ | Rights::WRITE,
+        ))
+        .expect("space");
+    let checker = SegmentChecker::default();
+    c.bench_function("cap/bounds_check", |b| {
+        b.iter(|| {
+            black_box(checker.check(&table, black_box(mem), AccessKind::Read, 0x100, 64)).is_ok()
+        })
+    });
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    c.bench_function("mem/segment_alloc_free", |b| {
+        b.iter_batched_ref(
+            || SegmentAllocator::new(1 << 24, AllocPolicy::FirstFit),
+            |a| {
+                let seg = a.alloc(black_box(4097)).expect("space");
+                a.free(seg).expect("live");
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mem/paged_map_unmap", |b| {
+        b.iter_batched_ref(
+            || PagedMmu::new(4096, 4096, 32, 60),
+            |m| {
+                let r = m.map(black_box(4097)).expect("frames");
+                m.unmap(r).expect("live");
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Steady-state churn against a fragmented heap.
+    c.bench_function("mem/segment_churn_fragmented", |b| {
+        let mut a = SegmentAllocator::new(1 << 24, AllocPolicy::FirstFit);
+        let mut rng = SimRng::new(5);
+        let mut live = Vec::new();
+        for _ in 0..500 {
+            if let Ok(s) = a.alloc(rng.gen_range_inclusive(64, 8192)) {
+                live.push(s);
+            }
+        }
+        // Free every other to fragment.
+        for s in live.iter().step_by(2) {
+            a.free(*s).expect("live");
+        }
+        b.iter(|| {
+            if let Ok(s) = a.alloc(black_box(1000)) {
+                a.free(s).expect("live");
+            }
+        })
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc/tick_idle_8x8", |b| {
+        let mut noc = Noc::new(NocConfig::soft(8, 8));
+        b.iter(|| noc.tick())
+    });
+    c.bench_function("noc/message_corner_to_corner_4x4", |b| {
+        b.iter_batched_ref(
+            || Noc::new(NocConfig::soft(4, 4)),
+            |noc| {
+                let msg = Message::new(NodeId(0), NodeId(15), TrafficClass::Request, vec![0; 64]);
+                noc.try_inject(NodeId(0), msg).expect("space");
+                noc.run_until_quiescent(10_000);
+                black_box(noc.poll_eject(NodeId(15)));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("noc/tick_loaded_4x4", |b| {
+        let mut noc = Noc::new(NocConfig::soft(4, 4));
+        let mut rng = SimRng::new(9);
+        b.iter(|| {
+            for src in 0..16u16 {
+                if rng.gen_bool(0.2) {
+                    let dst = (src + 1 + rng.gen_range(15) as u16) % 16;
+                    let _ = noc.try_inject(
+                        NodeId(src),
+                        Message::new(NodeId(src), NodeId(dst), TrafficClass::Request, vec![0; 16]),
+                    );
+                }
+            }
+            noc.tick();
+            for n in 0..16u16 {
+                noc.drain_eject(NodeId(n));
+            }
+        })
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    use apiary_accel::codec::{lz, video};
+    let frame = video::Frame::test_pattern(64, 64, 3);
+    c.bench_function("codec/video_encode_64x64", |b| {
+        b.iter(|| black_box(video::encode(black_box(&frame), 0)))
+    });
+    let encoded = video::encode(&frame, 0);
+    c.bench_function("codec/video_decode_64x64", |b| {
+        b.iter(|| black_box(video::decode(black_box(&encoded))).expect("well formed"))
+    });
+    let text = b"the quick brown fox jumps over the lazy dog ".repeat(100);
+    c.bench_function("codec/lz_compress_4k5", |b| {
+        b.iter(|| black_box(lz::compress(black_box(&text))))
+    });
+    let packed = lz::compress(&text);
+    c.bench_function("codec/lz_decompress_4k5", |b| {
+        b.iter(|| black_box(lz::decompress(black_box(&packed))).expect("well formed"))
+    });
+}
+
+fn bench_system(c: &mut Criterion) {
+    use apiary_accel::apps::echo::echo;
+    c.bench_function("system/tick_4x4", |b| {
+        let (mut sys, _cap) = client_server(
+            SystemConfig::default(),
+            NodeId(0),
+            NodeId(5),
+            Box::new(echo(4)),
+        );
+        b.iter(|| sys.tick())
+    });
+    c.bench_function("system/request_response_roundtrip", |b| {
+        b.iter_batched(
+            || {
+                client_server(
+                    SystemConfig::default(),
+                    NodeId(0),
+                    NodeId(5),
+                    Box::new(echo(4)),
+                )
+            },
+            |(mut sys, cap)| {
+                let mut client = MonitorClient::new(NodeId(0), cap, 32).max_requests(1);
+                drive(&mut sys, &mut [&mut client], 100_000);
+                assert!(client.done());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cap_check,
+    bench_allocators,
+    bench_noc,
+    bench_codecs,
+    bench_system
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Runs every experiment (quick mode by default; pass `--full` for the
+//! complete sweeps) and prints all reports — the one-command artifact
+//! regeneration entry point.
+
+use apiary_bench::experiments as e;
+
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    let experiments: Vec<(&str, fn(bool) -> String)> = vec![
+        ("E1", e::e01_table1::run),
+        ("E2", e::e02_figure1::run),
+        ("E3", e::e03_monitor_overhead::run),
+        ("E4", e::e04_direct_vs_host::run),
+        ("E5", e::e05_isolation_cost::run),
+        ("E6", e::e06_rate_limiting::run),
+        ("E7", e::e07_segments_vs_pages::run),
+        ("E8", e::e08_fault_handling::run),
+        ("E9", e::e09_noc_scaling::run),
+        ("E10", e::e10_video_pipeline::run),
+        ("E11", e::e11_multi_tenant::run),
+        ("E12", e::e12_remote_service::run),
+        ("E13", e::e13_noc_ablation::run),
+        ("E14", e::e14_reconfig_churn::run),
+        ("E15", e::e15_memory_service::run),
+    ];
+    for (id, run) in experiments {
+        println!("==================== {id} ====================");
+        print!("{}", run(quick));
+        println!();
+    }
+}

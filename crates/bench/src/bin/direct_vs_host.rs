@@ -1,0 +1,10 @@
+//! Regenerates experiment e04_direct_vs_host (see DESIGN.md §3). Pass `--quick` for a
+//! scaled-down run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        apiary_bench::experiments::e04_direct_vs_host::run(quick)
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates experiment e08_fault_handling (see DESIGN.md §3). Pass `--quick` for a
+//! scaled-down run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        apiary_bench::experiments::e08_fault_handling::run(quick)
+    );
+}

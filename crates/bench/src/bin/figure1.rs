@@ -1,0 +1,7 @@
+//! Regenerates experiment e02_figure1 (see DESIGN.md §3). Pass `--quick` for a
+//! scaled-down run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", apiary_bench::experiments::e02_figure1::run(quick));
+}

@@ -1,0 +1,10 @@
+//! Regenerates experiment e05_isolation_cost (see DESIGN.md §3). Pass `--quick` for a
+//! scaled-down run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        apiary_bench::experiments::e05_isolation_cost::run(quick)
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates experiment e15_memory_service (see DESIGN.md §3). Pass
+//! `--quick` for a scaled-down run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        apiary_bench::experiments::e15_memory_service::run(quick)
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment e09_noc_scaling (see DESIGN.md §3). Pass `--quick` for a
+//! scaled-down run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", apiary_bench::experiments::e09_noc_scaling::run(quick));
+}

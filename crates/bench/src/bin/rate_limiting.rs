@@ -1,0 +1,10 @@
+//! Regenerates experiment e06_rate_limiting (see DESIGN.md §3). Pass `--quick` for a
+//! scaled-down run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        apiary_bench::experiments::e06_rate_limiting::run(quick)
+    );
+}

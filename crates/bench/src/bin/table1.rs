@@ -1,0 +1,7 @@
+//! Regenerates experiment e01_table1 (see DESIGN.md §3). Pass `--quick` for a
+//! scaled-down run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", apiary_bench::experiments::e01_table1::run(quick));
+}

@@ -1,0 +1,17 @@
+//! One module per experiment (see DESIGN.md §3 for the index).
+
+pub mod e01_table1;
+pub mod e02_figure1;
+pub mod e03_monitor_overhead;
+pub mod e04_direct_vs_host;
+pub mod e05_isolation_cost;
+pub mod e06_rate_limiting;
+pub mod e07_segments_vs_pages;
+pub mod e08_fault_handling;
+pub mod e09_noc_scaling;
+pub mod e10_video_pipeline;
+pub mod e11_multi_tenant;
+pub mod e12_remote_service;
+pub mod e13_noc_ablation;
+pub mod e14_reconfig_churn;
+pub mod e15_memory_service;

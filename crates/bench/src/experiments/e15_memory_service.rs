@@ -1,0 +1,201 @@
+//! E15 — Memory-service characterization.
+//!
+//! Every §2 scenario leans on the shared memory service; this experiment
+//! measures what an accelerator actually gets from it: read bandwidth and
+//! latency as a function of access pattern (sequential / strided / random)
+//! and of outstanding requests, plus the DRAM row-buffer behaviour behind
+//! the numbers. The architectural claim being checked: the message-passing
+//! path to memory (monitor check -> NoC -> DRAM -> NoC) pipelines — an
+//! accelerator that keeps requests in flight hides most of the round trip.
+
+use crate::table::TextTable;
+use apiary_accel::apps::idle::idle;
+use apiary_cap::CapRef;
+use apiary_core::memsvc::MemoryService;
+use apiary_core::{AppId, FaultPolicy, System, SystemConfig};
+use apiary_mem::AccessKind;
+use apiary_monitor::{wire, SendError};
+use apiary_noc::NodeId;
+use apiary_sim::SimRng;
+use core::fmt::Write;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pattern {
+    Sequential,
+    Strided,
+    Random,
+}
+
+impl Pattern {
+    fn name(&self) -> &'static str {
+        match self {
+            Pattern::Sequential => "sequential",
+            Pattern::Strided => "strided (8 KiB)",
+            Pattern::Random => "random",
+        }
+    }
+
+    fn offset(&self, i: u64, span: u64, read: u64, rng: &mut SimRng) -> u64 {
+        match self {
+            Pattern::Sequential => (i * read) % (span - read),
+            Pattern::Strided => (i * 8192) % (span - read),
+            Pattern::Random => rng.gen_range(span - read),
+        }
+    }
+}
+
+struct Outcome {
+    bytes_per_cycle: f64,
+    mean_latency: f64,
+    row_hit_pct: f64,
+}
+
+/// Issues `count` reads of `read` bytes with `window` outstanding from a
+/// driver tile, returns achieved bandwidth and latency.
+fn measure(pattern: Pattern, window: usize, count: u64) -> Outcome {
+    const SPAN: u64 = 4 << 20;
+    const READ: u64 = 1024;
+    let client = NodeId(0);
+    let mut sys = System::new(SystemConfig::default());
+    sys.install(client, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    let mem_cap: CapRef = sys.grant_memory(client, SPAN).expect("space");
+    let svc = sys.tile(client).env.get("mem-service").expect("wired");
+
+    let mut rng = SimRng::new(42);
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut in_flight = 0usize;
+    let mut sent_at = std::collections::HashMap::new();
+    let mut latency_sum = 0u64;
+    let start = sys.now();
+    for _ in 0..200_000_000u64 {
+        // Refill the window.
+        while in_flight < window && issued < count {
+            let off = pattern.offset(issued, SPAN, READ, &mut rng);
+            let now = sys.now();
+            match sys.tile_mut(client).monitor.send_mem(
+                mem_cap,
+                svc,
+                AccessKind::Read,
+                off,
+                READ,
+                &[],
+                issued,
+                now,
+            ) {
+                Ok(()) => {
+                    sent_at.insert(issued, now);
+                    issued += 1;
+                    in_flight += 1;
+                }
+                Err(SendError::Backpressure) => break,
+                Err(e) => panic!("mem read refused: {e}"),
+            }
+        }
+        sys.tick();
+        let now = sys.now();
+        while let Some(d) = sys.tile_mut(client).monitor.recv() {
+            assert_eq!(d.msg.kind, wire::KIND_MEM_REPLY);
+            assert_eq!(d.msg.payload.len() as u64, READ);
+            let t0 = sent_at.remove(&d.msg.tag).expect("tracked");
+            latency_sum += now - t0;
+            completed += 1;
+            in_flight -= 1;
+        }
+        if completed == count {
+            break;
+        }
+    }
+    assert_eq!(completed, count, "memory run stalled");
+    let cycles = (sys.now() - start).max(1);
+    let memsvc = sys
+        .accel_as::<MemoryService>(sys.mem_node())
+        .expect("boot service");
+    let (hits, misses, conflicts) = memsvc.dram_stats();
+    Outcome {
+        bytes_per_cycle: (completed * READ) as f64 / cycles as f64,
+        mean_latency: latency_sum as f64 / completed as f64,
+        row_hit_pct: 100.0 * hits as f64 / (hits + misses + conflicts).max(1) as f64,
+    }
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    let count = if quick { 40 } else { 300 };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E15: Memory service characterization (1 KiB reads over a 4 MiB segment)\n"
+    );
+    let mut t = TextTable::new(&[
+        "pattern",
+        "outstanding",
+        "bandwidth (B/cyc)",
+        "mean latency (cyc)",
+        "DRAM row hits",
+    ]);
+    let windows: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8] };
+    for pattern in [Pattern::Sequential, Pattern::Strided, Pattern::Random] {
+        for &w in windows {
+            let o = measure(pattern, w, count);
+            t.row_owned(vec![
+                pattern.name().to_string(),
+                w.to_string(),
+                format!("{:.2}", o.bytes_per_cycle),
+                format!("{:.0}", o.mean_latency),
+                format!("{:.0}%", o.row_hit_pct),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "Reading: one outstanding read leaves the path idle most of the time; a small\n\
+         window pipelines monitor checks, NoC transit and DRAM access until the NoC's\n\
+         bulk-transfer serialisation becomes the ceiling. Sequential streams keep the\n\
+         row buffer hot; random access pays misses but bank interleave still overlaps\n\
+         them. The §2 accelerators get near-wire memory bandwidth with a handful of\n\
+         outstanding requests — no shared-virtual-memory machinery required (§4.6)."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_pipelines_bandwidth() {
+        let one = measure(Pattern::Sequential, 1, 30);
+        let eight = measure(Pattern::Sequential, 8, 30);
+        // The ceiling is the NoC's reply serialisation (~16 B/cycle for
+        // 16 B flits on one ejection port); window 8 should reach it.
+        assert!(
+            eight.bytes_per_cycle > one.bytes_per_cycle * 1.5,
+            "window 8 {:.2} vs window 1 {:.2}",
+            eight.bytes_per_cycle,
+            one.bytes_per_cycle
+        );
+        assert!(eight.bytes_per_cycle > 14.0, "{:.2}", eight.bytes_per_cycle);
+    }
+
+    #[test]
+    fn sequential_beats_random_on_row_hits() {
+        let seq = measure(Pattern::Sequential, 4, 30);
+        let rand = measure(Pattern::Random, 4, 30);
+        assert!(
+            seq.row_hit_pct > rand.row_hit_pct,
+            "seq {:.0}% vs random {:.0}%",
+            seq.row_hit_pct,
+            rand.row_hit_pct
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let out = run(true);
+        assert!(out.contains("sequential"));
+        assert!(out.contains("row hits"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Capability objects: what a capability names and with which rights.
+
+use crate::rights::Rights;
+use core::fmt;
+
+/// Identifies a message-passing endpoint (a tile/process as a communication
+/// target). In a full system this is resolved to a NoC node by the monitor's
+/// service table; the capability layer treats it as opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub u32);
+
+/// Identifies a logical, named OS service (§4.3: service naming lives at the
+/// API layer, not in physical wiring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub u32);
+
+/// A physical memory range `[base, base + len)` covered by a memory
+/// capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRange {
+    /// First byte covered.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl MemRange {
+    /// Creates a range.
+    pub const fn new(base: u64, len: u64) -> MemRange {
+        MemRange { base, len }
+    }
+
+    /// One past the last byte covered.
+    pub const fn end(&self) -> u64 {
+        self.base.saturating_add(self.len)
+    }
+
+    /// Returns `true` if `other` lies entirely within `self`.
+    pub const fn covers(&self, other: &MemRange) -> bool {
+        other.base >= self.base && other.end() <= self.end()
+    }
+
+    /// Returns `true` if the byte range `[addr, addr + len)` lies within
+    /// `self`.
+    pub const fn covers_bytes(&self, addr: u64, len: u64) -> bool {
+        self.covers(&MemRange::new(addr, len))
+    }
+
+    /// Returns `true` if the two ranges share at least one byte. Empty
+    /// ranges overlap nothing.
+    pub const fn overlaps(&self, other: &MemRange) -> bool {
+        self.len > 0 && other.len > 0 && self.base < other.end() && other.base < self.end()
+    }
+}
+
+impl fmt::Display for MemRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.base, self.end())
+    }
+}
+
+/// What a capability names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapKind {
+    /// Authority to communicate with one endpoint (tile/process).
+    Endpoint(EndpointId),
+    /// Authority over a physical memory segment.
+    Memory(MemRange),
+    /// Authority to invoke a logical, named service.
+    Service(ServiceId),
+    /// Authority to reconfigure the tile named by the id (load a new
+    /// accelerator bitstream into its dynamic region).
+    Reconfig(EndpointId),
+}
+
+/// A capability: an unforgeable (kind, rights, badge) triple held in a
+/// monitor-managed table.
+///
+/// The `badge` is an opaque word chosen at mint time; receivers can use it to
+/// tell which grant a message arrived through (the classic seL4 pattern for
+/// multiplexing one endpoint across clients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capability {
+    /// What this capability names.
+    pub kind: CapKind,
+    /// What the holder may do with it.
+    pub rights: Rights,
+    /// Mint-time tag, visible to the resource implementor.
+    pub badge: u64,
+}
+
+impl Capability {
+    /// Creates a capability with a zero badge.
+    pub const fn new(kind: CapKind, rights: Rights) -> Capability {
+        Capability {
+            kind,
+            rights,
+            badge: 0,
+        }
+    }
+
+    /// Creates a badged capability.
+    pub const fn badged(kind: CapKind, rights: Rights, badge: u64) -> Capability {
+        Capability {
+            kind,
+            rights,
+            badge,
+        }
+    }
+
+    /// Returns `true` if this capability carries all of `needed`.
+    pub const fn allows(&self, needed: Rights) -> bool {
+        self.rights.contains(needed)
+    }
+
+    /// Checks that `derived` could legally be derived from `self`:
+    /// rights must narrow, the kind must match, and memory ranges must
+    /// shrink or stay equal.
+    pub fn can_derive(&self, derived: &Capability) -> bool {
+        if !self.rights.contains(Rights::GRANT) {
+            return false;
+        }
+        if !derived.rights.is_subset_of(self.rights) {
+            return false;
+        }
+        match (&self.kind, &derived.kind) {
+            (CapKind::Memory(parent), CapKind::Memory(child)) => parent.covers(child),
+            (a, b) => a == b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_cover_and_overlap() {
+        let big = MemRange::new(0x1000, 0x1000);
+        let inside = MemRange::new(0x1800, 0x100);
+        let outside = MemRange::new(0x2000, 0x10);
+        let straddle = MemRange::new(0x1f00, 0x200);
+        assert!(big.covers(&inside));
+        assert!(!big.covers(&outside));
+        assert!(!big.covers(&straddle));
+        assert!(big.overlaps(&straddle));
+        assert!(!big.overlaps(&outside));
+        assert!(big.covers_bytes(0x1000, 0x1000));
+        assert!(!big.covers_bytes(0x1000, 0x1001));
+    }
+
+    #[test]
+    fn zero_length_range_edge_cases() {
+        let r = MemRange::new(0x100, 0);
+        assert_eq!(r.end(), 0x100);
+        let big = MemRange::new(0, 0x200);
+        assert!(big.covers(&r));
+        // A zero-length range overlaps nothing.
+        assert!(!big.overlaps(&r));
+    }
+
+    #[test]
+    fn range_end_saturates() {
+        let r = MemRange::new(u64::MAX - 1, 10);
+        assert_eq!(r.end(), u64::MAX);
+    }
+
+    #[test]
+    fn derive_requires_grant() {
+        let no_grant = Capability::new(CapKind::Endpoint(EndpointId(1)), Rights::SEND);
+        let child = Capability::new(CapKind::Endpoint(EndpointId(1)), Rights::SEND);
+        assert!(!no_grant.can_derive(&child));
+        let with_grant = Capability::new(
+            CapKind::Endpoint(EndpointId(1)),
+            Rights::SEND | Rights::GRANT,
+        );
+        assert!(with_grant.can_derive(&child));
+    }
+
+    #[test]
+    fn derive_cannot_amplify_rights() {
+        let parent = Capability::new(
+            CapKind::Endpoint(EndpointId(1)),
+            Rights::SEND | Rights::GRANT,
+        );
+        let amplified = Capability::new(
+            CapKind::Endpoint(EndpointId(1)),
+            Rights::SEND | Rights::RECV,
+        );
+        assert!(!parent.can_derive(&amplified));
+    }
+
+    #[test]
+    fn derive_cannot_change_kind_or_widen_range() {
+        let parent = Capability::new(
+            CapKind::Memory(MemRange::new(0x1000, 0x100)),
+            Rights::READ | Rights::GRANT,
+        );
+        let other_endpoint = Capability::new(CapKind::Endpoint(EndpointId(9)), Rights::READ);
+        assert!(!parent.can_derive(&other_endpoint));
+        let wider = Capability::new(CapKind::Memory(MemRange::new(0x1000, 0x200)), Rights::READ);
+        assert!(!parent.can_derive(&wider));
+        let narrower = Capability::new(CapKind::Memory(MemRange::new(0x1040, 0x40)), Rights::READ);
+        assert!(parent.can_derive(&narrower));
+    }
+}

@@ -1,0 +1,29 @@
+//! Capabilities for Apiary (§4.6 of the paper).
+//!
+//! Apiary controls access to every shared resource — communication endpoints,
+//! memory segments, named services — with capabilities in the Dennis &
+//! Van Horn tradition. Capabilities are *partitioned*: the authoritative
+//! [`CapTable`] lives inside the trusted per-tile monitor, and untrusted
+//! accelerator logic only ever holds opaque [`CapRef`] handles. The monitor
+//! interposes on every message and checks the referenced capability, so a
+//! buggy or malicious accelerator cannot forge, amplify, or resurrect
+//! authority.
+//!
+//! The model supports:
+//!
+//! - **rights narrowing** — a derived capability's [`Rights`] are always a
+//!   subset of its parent's,
+//! - **range narrowing** — a derived memory capability covers a sub-range of
+//!   its parent segment,
+//! - **recursive revocation** — revoking a capability kills its entire
+//!   derivation subtree,
+//! - **generation-checked handles** — a revoked slot can be reused without
+//!   stale [`CapRef`]s regaining authority.
+
+pub mod capability;
+pub mod rights;
+pub mod table;
+
+pub use capability::{CapKind, Capability, EndpointId, MemRange, ServiceId};
+pub use rights::Rights;
+pub use table::{CapError, CapRef, CapTable};

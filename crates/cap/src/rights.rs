@@ -1,0 +1,158 @@
+//! Access rights carried by capabilities.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr};
+
+/// A small bit-set of access rights.
+///
+/// Rights only ever *shrink* along a derivation chain; [`Rights::is_subset_of`]
+/// is the check the table enforces on every derive.
+///
+/// # Examples
+///
+/// ```
+/// use apiary_cap::Rights;
+///
+/// let rw = Rights::READ | Rights::WRITE;
+/// assert!(Rights::READ.is_subset_of(rw));
+/// assert!(!rw.is_subset_of(Rights::READ));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rights(u16);
+
+impl Rights {
+    /// No rights at all.
+    pub const NONE: Rights = Rights(0);
+    /// May send messages to an endpoint.
+    pub const SEND: Rights = Rights(1 << 0);
+    /// May receive messages from an endpoint.
+    pub const RECV: Rights = Rights(1 << 1);
+    /// May read a memory segment.
+    pub const READ: Rights = Rights(1 << 2);
+    /// May write a memory segment.
+    pub const WRITE: Rights = Rights(1 << 3);
+    /// May derive and hand out narrowed copies (grant authority onward).
+    pub const GRANT: Rights = Rights(1 << 4);
+    /// May revoke derived children.
+    pub const REVOKE: Rights = Rights(1 << 5);
+    /// May invoke management operations (service registration,
+    /// reconfiguration requests).
+    pub const MANAGE: Rights = Rights(1 << 6);
+
+    /// Every right at once; the authority of the kernel's root capabilities.
+    pub const ALL: Rights = Rights(0x7f);
+
+    /// Returns `true` if every bit of `needed` is present in `self`.
+    #[inline]
+    pub const fn contains(self, needed: Rights) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// Returns `true` if `self` carries no right that `sup` lacks.
+    #[inline]
+    pub const fn is_subset_of(self, sup: Rights) -> bool {
+        sup.contains(self)
+    }
+
+    /// Returns `true` if no rights are set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bits (for tracing).
+    #[inline]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+
+    #[inline]
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Rights {
+    type Output = Rights;
+
+    #[inline]
+    fn bitand(self, rhs: Rights) -> Rights {
+        Rights(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Rights::SEND, "SEND"),
+            (Rights::RECV, "RECV"),
+            (Rights::READ, "READ"),
+            (Rights::WRITE, "WRITE"),
+            (Rights::GRANT, "GRANT"),
+            (Rights::REVOKE, "REVOKE"),
+            (Rights::MANAGE, "MANAGE"),
+        ];
+        let mut first = true;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "NONE")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_subset() {
+        let rw = Rights::READ | Rights::WRITE;
+        assert!(rw.contains(Rights::READ));
+        assert!(rw.contains(rw));
+        assert!(!rw.contains(Rights::SEND));
+        assert!(Rights::NONE.is_subset_of(rw));
+        assert!(rw.is_subset_of(Rights::ALL));
+        assert!(!Rights::ALL.is_subset_of(rw));
+    }
+
+    #[test]
+    fn intersection_narrows() {
+        let a = Rights::SEND | Rights::GRANT;
+        let b = Rights::SEND | Rights::READ;
+        assert_eq!(a & b, Rights::SEND);
+    }
+
+    #[test]
+    fn all_contains_every_named_right() {
+        for r in [
+            Rights::SEND,
+            Rights::RECV,
+            Rights::READ,
+            Rights::WRITE,
+            Rights::GRANT,
+            Rights::REVOKE,
+            Rights::MANAGE,
+        ] {
+            assert!(Rights::ALL.contains(r));
+        }
+    }
+
+    #[test]
+    fn debug_render() {
+        assert_eq!(format!("{:?}", Rights::NONE), "NONE");
+        assert_eq!(format!("{:?}", Rights::SEND | Rights::READ), "SEND|READ");
+    }
+}

@@ -1,0 +1,81 @@
+//! Fault-handling policy (§4.4).
+
+use core::fmt;
+
+/// What the kernel does when a tile's accelerator raises a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Fail-stop: the monitor drains the tile's traffic and answers all
+    /// further messages with errors. The whole tile is lost until
+    /// reconfigured. This is the best achievable model for accelerators
+    /// that are only *concurrent* (cannot externalize their state).
+    #[default]
+    FailStop,
+    /// Context swap: if the accelerator is preemptible (externalizes
+    /// state), the kernel saves its state, clears the faulted execution,
+    /// and restores — other contexts on the tile keep their data and
+    /// continue. Falls back to fail-stop for non-preemptible accelerators.
+    Preempt,
+}
+
+impl fmt::Display for FaultPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPolicy::FailStop => write!(f, "fail-stop"),
+            FaultPolicy::Preempt => write!(f, "preempt"),
+        }
+    }
+}
+
+/// A fault record, for post-mortem queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Accelerator-supplied fault code.
+    pub code: u32,
+    /// The cycle the fault was raised.
+    pub at: apiary_sim::Cycle,
+    /// What the kernel did about it.
+    pub action: FaultAction,
+}
+
+/// The action the kernel actually took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Tile fail-stopped.
+    FailStopped,
+    /// Context swapped; tile resumed after the recorded downtime.
+    Preempted {
+        /// Cycles the tile was paused for save/restore.
+        downtime: u64,
+    },
+}
+
+/// The fault code the kernel assigns to watchdog-detected hangs (the
+/// accelerator never raised a fault; the monitor caught it not consuming
+/// traffic).
+pub const WATCHDOG_FAULT: u32 = 0xDEAD_0001;
+
+/// Cycles to save + restore `state_bytes` of context over the tile's
+/// configuration port, modelled at 8 bytes/cycle plus fixed sequencing
+/// overhead — the cost SYNERGY-style state capture pays.
+pub fn preemption_downtime(state_bytes: usize) -> u64 {
+    64 + (state_bytes as u64).div_ceil(8) * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fail_stop() {
+        assert_eq!(FaultPolicy::default(), FaultPolicy::FailStop);
+    }
+
+    #[test]
+    fn downtime_scales_with_state() {
+        assert!(preemption_downtime(0) >= 64);
+        assert!(preemption_downtime(1 << 20) > preemption_downtime(1 << 10));
+        // 8 bytes: one beat saved, one restored.
+        assert_eq!(preemption_downtime(8), 64 + 2);
+    }
+}

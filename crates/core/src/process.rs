@@ -1,0 +1,59 @@
+//! Application and process identity (§4.1–§4.2).
+
+use apiary_noc::NodeId;
+use core::fmt;
+
+/// An application: one or more cooperating processes (accelerators) under a
+/// single trust domain. Distinct applications are mutually distrusting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u32);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// The OS's own pseudo-application, owning service tiles (memory, network).
+/// Services are trusted infrastructure; every application may be connected
+/// to them.
+pub const OS_APP: AppId = AppId(0);
+
+/// A process: one user context running on one accelerator (§4.2). The
+/// kernel-level unit of isolation is the tile; contexts within a tile are
+/// mutually trusting and distinguished by capability badges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId {
+    /// The tile the process occupies.
+    pub node: NodeId,
+    /// Context index within the tile.
+    pub context: u16,
+}
+
+impl ProcessId {
+    /// The zeroth (default) context on a tile.
+    pub fn main(node: NodeId) -> ProcessId {
+        ProcessId { node, context: 0 }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.node, self.context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_semantics() {
+        assert_eq!(AppId(3), AppId(3));
+        assert_ne!(AppId(3), AppId(4));
+        let p = ProcessId::main(NodeId(5));
+        assert_eq!(p.context, 0);
+        assert_eq!(format!("{p}"), "n5#0");
+        assert_eq!(format!("{}", AppId(2)), "app2");
+    }
+}

@@ -1,0 +1,157 @@
+//! Partial reconfiguration (§4.1: dynamic tile regions).
+//!
+//! Loading a new accelerator into a tile's dynamic region takes real time:
+//! the bitstream streams through the configuration port (ICAP) at a fixed
+//! bandwidth. While a tile reconfigures it is offline; its monitor answers
+//! correspondents with errors exactly as for a fail-stopped tile, and is
+//! reset (all capabilities revoked) when the new accelerator comes up.
+
+use apiary_accel::Accelerator;
+use apiary_noc::NodeId;
+use apiary_sim::Cycle;
+
+use crate::fault::FaultPolicy;
+use crate::process::AppId;
+
+/// An in-progress reconfiguration.
+pub struct ReconfigJob {
+    /// The tile being rewritten.
+    pub node: NodeId,
+    /// When the bitstream finishes loading.
+    pub done_at: Cycle,
+    /// The accelerator to install on completion.
+    pub accel: Box<dyn Accelerator>,
+    /// Owning application of the new configuration.
+    pub app: AppId,
+    /// Fault policy for the new configuration.
+    pub policy: FaultPolicy,
+}
+
+/// The reconfiguration controller: one ICAP, jobs serialised through it.
+pub struct ReconfigController {
+    /// Configuration-port bandwidth in bytes per fabric cycle. The Xilinx
+    /// ICAP moves 4 bytes/cycle at 100–200 MHz; ~4 B/cycle at a 250 MHz
+    /// fabric clock is the right order.
+    pub bytes_per_cycle: u64,
+    /// The port is busy until this cycle (jobs queue behind one another).
+    port_free_at: Cycle,
+    jobs: Vec<ReconfigJob>,
+    /// Completed reconfigurations.
+    pub completed: u64,
+}
+
+impl ReconfigController {
+    /// Creates a controller with the given ICAP bandwidth.
+    pub fn new(bytes_per_cycle: u64) -> ReconfigController {
+        ReconfigController {
+            bytes_per_cycle: bytes_per_cycle.max(1),
+            port_free_at: Cycle::ZERO,
+            jobs: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    /// Queues a reconfiguration; returns the completion time.
+    pub fn start(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        accel: Box<dyn Accelerator>,
+        app: AppId,
+        policy: FaultPolicy,
+        bitstream_bytes: u64,
+    ) -> Cycle {
+        let begin = now.max(self.port_free_at);
+        let done_at = begin + bitstream_bytes.div_ceil(self.bytes_per_cycle);
+        self.port_free_at = done_at;
+        self.jobs.push(ReconfigJob {
+            node,
+            done_at,
+            accel,
+            app,
+            policy,
+        });
+        done_at
+    }
+
+    /// Returns `true` if `node` has a reconfiguration in flight.
+    pub fn in_progress(&self, node: NodeId) -> bool {
+        self.jobs.iter().any(|j| j.node == node)
+    }
+
+    /// Removes and returns jobs that completed by `now`.
+    pub fn take_completed(&mut self, now: Cycle) -> Vec<ReconfigJob> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.jobs.len() {
+            if self.jobs[i].done_at <= now {
+                done.push(self.jobs.swap_remove(i));
+                self.completed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Jobs still in flight.
+    pub fn pending(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiary_accel::apps::echo::echo;
+
+    #[test]
+    fn reconfig_takes_bitstream_time() {
+        let mut rc = ReconfigController::new(4);
+        let done = rc.start(
+            Cycle(100),
+            NodeId(1),
+            Box::new(echo(1)),
+            AppId(1),
+            FaultPolicy::FailStop,
+            4000,
+        );
+        assert_eq!(done, Cycle(1100));
+        assert!(rc.in_progress(NodeId(1)));
+        assert!(rc.take_completed(Cycle(1099)).is_empty());
+        let finished = rc.take_completed(Cycle(1100));
+        assert_eq!(finished.len(), 1);
+        assert!(!rc.in_progress(NodeId(1)));
+        assert_eq!(rc.completed, 1);
+    }
+
+    #[test]
+    fn jobs_serialise_through_the_port() {
+        let mut rc = ReconfigController::new(10);
+        let d1 = rc.start(
+            Cycle(0),
+            NodeId(1),
+            Box::new(echo(1)),
+            AppId(1),
+            FaultPolicy::FailStop,
+            1000,
+        );
+        let d2 = rc.start(
+            Cycle(0),
+            NodeId(2),
+            Box::new(echo(1)),
+            AppId(1),
+            FaultPolicy::FailStop,
+            1000,
+        );
+        assert_eq!(d1, Cycle(100));
+        assert_eq!(d2, Cycle(200), "second job queues behind the first");
+        assert_eq!(rc.pending(), 2);
+    }
+
+    #[test]
+    fn zero_bandwidth_clamped() {
+        let rc = ReconfigController::new(0);
+        assert_eq!(rc.bytes_per_cycle, 1);
+    }
+}

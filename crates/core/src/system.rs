@@ -1,0 +1,735 @@
+//! The machine: NoC + tiles + clock, and the kernel management API.
+
+use crate::fault::{preemption_downtime, FaultAction, FaultPolicy, FaultRecord};
+use crate::memsvc::MemoryService;
+use crate::process::{AppId, OS_APP};
+use crate::reconfig::ReconfigController;
+use crate::tile::{KernelOs, Tile};
+use apiary_accel::{Accelerator, CapEnv};
+use apiary_cap::{CapError, CapKind, CapRef, Capability, EndpointId, Rights, ServiceId};
+use apiary_mem::{AllocError, AllocPolicy, DramConfig, SegmentAllocator};
+use apiary_monitor::{Monitor, MonitorConfig, TileState};
+use apiary_noc::{Noc, NocConfig, NodeId};
+use apiary_sim::{Clock, Cycle};
+use apiary_trace::EventKind;
+use core::fmt;
+
+/// System-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// NoC geometry and parameters.
+    pub noc: NocConfig,
+    /// Per-tile monitor configuration.
+    pub monitor: MonitorConfig,
+    /// On-card DRAM capacity behind the memory service, in bytes.
+    pub mem_capacity: u64,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Which node hosts the memory service (default: the last node).
+    pub mem_node: Option<NodeId>,
+    /// ICAP bandwidth for partial reconfiguration, bytes/cycle.
+    pub icap_bytes_per_cycle: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            noc: NocConfig::default(),
+            monitor: MonitorConfig::default(),
+            mem_capacity: 16 << 20,
+            dram: DramConfig::default(),
+            mem_node: None,
+            icap_bytes_per_cycle: 4,
+        }
+    }
+}
+
+/// Kernel API errors.
+#[derive(Debug)]
+pub enum SystemError {
+    /// The node is outside the mesh.
+    BadNode(NodeId),
+    /// The tile already hosts an accelerator.
+    SlotOccupied(NodeId),
+    /// The tile hosts no accelerator.
+    SlotEmpty(NodeId),
+    /// Mutually distrusting applications may only be connected explicitly
+    /// (§4.2); this connect lacked `allow_cross_app`.
+    CrossAppConnect {
+        /// Requesting tile.
+        from: NodeId,
+        /// Target tile.
+        to: NodeId,
+    },
+    /// A capability-table operation failed.
+    Cap(CapError),
+    /// A memory allocation failed.
+    Alloc(AllocError),
+    /// Preemption requested on a non-preemptible accelerator.
+    NotPreemptible(NodeId),
+    /// The tile is being reconfigured.
+    ReconfigInProgress(NodeId),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::BadNode(n) => write!(f, "node {n} outside mesh"),
+            SystemError::SlotOccupied(n) => write!(f, "tile {n} already occupied"),
+            SystemError::SlotEmpty(n) => write!(f, "tile {n} is empty"),
+            SystemError::CrossAppConnect { from, to } => {
+                write!(f, "cross-application connect {from} -> {to} not allowed")
+            }
+            SystemError::Cap(e) => write!(f, "capability: {e}"),
+            SystemError::Alloc(e) => write!(f, "allocation: {e}"),
+            SystemError::NotPreemptible(n) => write!(f, "tile {n} is not preemptible"),
+            SystemError::ReconfigInProgress(n) => write!(f, "tile {n} is reconfiguring"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<CapError> for SystemError {
+    fn from(e: CapError) -> SystemError {
+        SystemError::Cap(e)
+    }
+}
+
+impl From<AllocError> for SystemError {
+    fn from(e: AllocError) -> SystemError {
+        SystemError::Alloc(e)
+    }
+}
+
+/// A complete Apiary machine.
+///
+/// # Examples
+///
+/// ```
+/// use apiary_core::{AppId, FaultPolicy, System, SystemConfig};
+/// use apiary_accel::apps::echo::echo;
+/// use apiary_noc::NodeId;
+///
+/// let mut sys = System::new(SystemConfig::default());
+/// sys.install(NodeId(1), Box::new(echo(1)), AppId(1), FaultPolicy::FailStop)
+///     .expect("slot free");
+/// sys.run(10);
+/// assert_eq!(sys.now().as_u64(), 10);
+/// ```
+pub struct System {
+    cfg: SystemConfig,
+    clock: Clock,
+    noc: Noc,
+    tiles: Vec<Tile>,
+    allocator: SegmentAllocator,
+    mem_node: NodeId,
+    reconfig: ReconfigController,
+}
+
+impl System {
+    /// Boots a system: builds the mesh, instantiates monitors, and brings
+    /// up the memory service tile.
+    pub fn new(cfg: SystemConfig) -> System {
+        let noc = Noc::new(cfg.noc);
+        let nodes = noc.mesh().nodes();
+        let tiles: Vec<Tile> = (0..nodes)
+            .map(|i| Tile::new(Monitor::new(NodeId(i as u16), cfg.monitor)))
+            .collect();
+        let mem_node = cfg.mem_node.unwrap_or(NodeId(nodes as u16 - 1));
+        let mut sys = System {
+            clock: Clock::new(),
+            noc,
+            tiles,
+            allocator: SegmentAllocator::new(cfg.mem_capacity, AllocPolicy::FirstFit),
+            mem_node,
+            reconfig: ReconfigController::new(cfg.icap_bytes_per_cycle),
+            cfg,
+        };
+        sys.install(
+            mem_node,
+            Box::new(MemoryService::new(cfg.mem_capacity, cfg.dram)),
+            OS_APP,
+            FaultPolicy::FailStop,
+        )
+        .expect("memory node is a valid empty slot at boot");
+        sys
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.clock.now()
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The NoC (for stats).
+    pub fn noc(&self) -> &Noc {
+        &self.noc
+    }
+
+    /// Mutable NoC access (external injectors such as the network service
+    /// front-end).
+    pub fn noc_mut(&mut self) -> &mut Noc {
+        &mut self.noc
+    }
+
+    /// The node hosting the memory service.
+    pub fn mem_node(&self) -> NodeId {
+        self.mem_node
+    }
+
+    /// Kernel-side allocator statistics (segment memory).
+    pub fn mem_stats(&self) -> apiary_mem::AllocStats {
+        self.allocator.stats()
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), SystemError> {
+        if self.noc.mesh().contains(n) {
+            Ok(())
+        } else {
+            Err(SystemError::BadNode(n))
+        }
+    }
+
+    /// Immutable tile access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-mesh node.
+    pub fn tile(&self, n: NodeId) -> &Tile {
+        &self.tiles[n.index()]
+    }
+
+    /// Mutable tile access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-mesh node.
+    pub fn tile_mut(&mut self, n: NodeId) -> &mut Tile {
+        &mut self.tiles[n.index()]
+    }
+
+    /// Downcasts a tile's accelerator to a concrete type.
+    pub fn accel_as<T: 'static>(&self, n: NodeId) -> Option<&T> {
+        self.tiles[n.index()]
+            .accel
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable accelerator downcast.
+    pub fn accel_as_mut<T: 'static>(&mut self, n: NodeId) -> Option<&mut T> {
+        self.tiles[n.index()]
+            .accel
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration-plane API.
+    // ------------------------------------------------------------------
+
+    /// Installs an accelerator into an empty tile.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadNode`] or [`SystemError::SlotOccupied`].
+    pub fn install(
+        &mut self,
+        node: NodeId,
+        accel: Box<dyn Accelerator>,
+        app: AppId,
+        policy: FaultPolicy,
+    ) -> Result<(), SystemError> {
+        self.check_node(node)?;
+        let tile = &mut self.tiles[node.index()];
+        if tile.accel.is_some() {
+            return Err(SystemError::SlotOccupied(node));
+        }
+        tile.accel = Some(accel);
+        tile.app = Some(app);
+        tile.policy = policy;
+        tile.env = CapEnv::new();
+        Ok(())
+    }
+
+    /// Grants `from` a SEND capability to `to` and returns the handle.
+    ///
+    /// Connections across application boundaries require `allow_cross_app`
+    /// unless one side is an OS service — the §4.2 rule that distrusting
+    /// processes must *specifically establish* IPC.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::CrossAppConnect`] for implicit cross-app links, plus
+    /// node/slot/capability errors.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        allow_cross_app: bool,
+    ) -> Result<CapRef, SystemError> {
+        self.connect_badged(from, to, 0, allow_cross_app)
+    }
+
+    /// Like [`System::connect`] but stamps a badge into the capability, so
+    /// the receiver can attribute traffic to this grant (multi-tenant
+    /// services key tenant state off the badge).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::connect`].
+    pub fn connect_badged(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        badge: u64,
+        allow_cross_app: bool,
+    ) -> Result<CapRef, SystemError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        let from_app = self.tiles[from.index()]
+            .app
+            .ok_or(SystemError::SlotEmpty(from))?;
+        let to_app = self.tiles[to.index()]
+            .app
+            .ok_or(SystemError::SlotEmpty(to))?;
+        if from_app != to_app && to_app != OS_APP && from_app != OS_APP && !allow_cross_app {
+            return Err(SystemError::CrossAppConnect { from, to });
+        }
+        let cap = self.tiles[from.index()]
+            .monitor
+            .install_cap(Capability::badged(
+                CapKind::Endpoint(EndpointId(to.0 as u32)),
+                Rights::SEND,
+                badge,
+            ))?;
+        let now = self.clock.now();
+        self.tiles[from.index()].monitor.tracer_mut().record(
+            now,
+            from.0,
+            EventKind::CapOp { op: "connect" },
+        );
+        Ok(cap)
+    }
+
+    /// Connects `from` to `to` and places the capability in `from`'s
+    /// environment under `name`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::connect`].
+    pub fn connect_env(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        name: &str,
+        allow_cross_app: bool,
+    ) -> Result<CapRef, SystemError> {
+        let cap = self.connect(from, to, allow_cross_app)?;
+        self.tiles[from.index()].env.insert(name, cap);
+        Ok(cap)
+    }
+
+    /// Places an existing capability into a tile's environment.
+    pub fn grant_env(&mut self, node: NodeId, name: &str, cap: CapRef) {
+        self.tiles[node.index()].env.insert(name, cap);
+    }
+
+    /// Allocates `len` bytes of segment memory for `node`: installs a
+    /// READ|WRITE memory capability, wires the tile to the memory service
+    /// (env name `"mem-service"`), and opens the reply path.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or capability errors.
+    pub fn grant_memory(&mut self, node: NodeId, len: u64) -> Result<CapRef, SystemError> {
+        self.check_node(node)?;
+        let range = self.allocator.alloc(len)?;
+        let tile = &mut self.tiles[node.index()];
+        let mem_cap = tile.monitor.install_cap(Capability::new(
+            CapKind::Memory(range),
+            Rights::READ | Rights::WRITE,
+        ))?;
+        if tile.env.get("mem-service").is_none() {
+            let svc = tile.monitor.install_cap(Capability::new(
+                CapKind::Endpoint(EndpointId(self.mem_node.0 as u32)),
+                Rights::SEND,
+            ))?;
+            tile.env.insert("mem-service", svc);
+        }
+        let mem_node = self.mem_node;
+        let memtile = &mut self.tiles[mem_node.index()];
+        if memtile.monitor.find_endpoint_cap(node).is_none() {
+            memtile.monitor.install_cap(Capability::new(
+                CapKind::Endpoint(EndpointId(node.0 as u32)),
+                Rights::SEND,
+            ))?;
+        }
+        Ok(mem_cap)
+    }
+
+    /// Shares a memory segment: derives a (possibly narrowed, rights-
+    /// reduced) view of `owner`'s memory capability and installs it at
+    /// `peer`, wiring the peer to the memory service too. This is §4.6's
+    /// segment sharing — two accelerators exchanging data through a common
+    /// buffer without either being able to touch anything else.
+    ///
+    /// # Errors
+    ///
+    /// Capability errors (bad handle, not a memory capability, rights not
+    /// a subset), node errors.
+    pub fn share_memory(
+        &mut self,
+        owner: NodeId,
+        cap: CapRef,
+        peer: NodeId,
+        rights: Rights,
+        narrow: Option<apiary_cap::MemRange>,
+    ) -> Result<CapRef, SystemError> {
+        self.check_node(owner)?;
+        self.check_node(peer)?;
+        let capability = *self.tiles[owner.index()]
+            .monitor
+            .caps()
+            .lookup(cap)
+            .map_err(SystemError::Cap)?;
+        let CapKind::Memory(range) = capability.kind else {
+            return Err(SystemError::Cap(CapError::InvalidRef));
+        };
+        if !rights.is_subset_of(capability.rights) {
+            return Err(SystemError::Cap(CapError::IllegalDerivation));
+        }
+        let shared_range = match narrow {
+            Some(r) => {
+                if !range.covers(&r) {
+                    return Err(SystemError::Cap(CapError::IllegalDerivation));
+                }
+                r
+            }
+            None => range,
+        };
+        let tile = &mut self.tiles[peer.index()];
+        let shared = tile
+            .monitor
+            .install_cap(Capability::new(CapKind::Memory(shared_range), rights))?;
+        if tile.env.get("mem-service").is_none() {
+            let svc = tile.monitor.install_cap(Capability::new(
+                CapKind::Endpoint(EndpointId(self.mem_node.0 as u32)),
+                Rights::SEND,
+            ))?;
+            tile.env.insert("mem-service", svc);
+        }
+        let mem_node = self.mem_node;
+        let memtile = &mut self.tiles[mem_node.index()];
+        if memtile.monitor.find_endpoint_cap(peer).is_none() {
+            memtile.monitor.install_cap(Capability::new(
+                CapKind::Endpoint(EndpointId(peer.0 as u32)),
+                Rights::SEND,
+            ))?;
+        }
+        Ok(shared)
+    }
+
+    /// Revokes a memory capability and returns its segment to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Capability or allocator errors.
+    pub fn release_memory(&mut self, node: NodeId, cap: CapRef) -> Result<(), SystemError> {
+        self.check_node(node)?;
+        let tile = &mut self.tiles[node.index()];
+        let capability = *tile.monitor.caps().lookup(cap).map_err(SystemError::Cap)?;
+        let CapKind::Memory(range) = capability.kind else {
+            return Err(SystemError::Cap(CapError::InvalidRef));
+        };
+        tile.monitor.revoke_cap(cap)?;
+        self.allocator.free(range)?;
+        Ok(())
+    }
+
+    /// Binds logical service `service` to `target` in `client`'s name
+    /// table and grants a SEND capability for it (§4.3 naming).
+    ///
+    /// # Errors
+    ///
+    /// Node or capability errors.
+    pub fn bind_service(
+        &mut self,
+        client: NodeId,
+        service: ServiceId,
+        target: NodeId,
+    ) -> Result<CapRef, SystemError> {
+        self.check_node(client)?;
+        self.check_node(target)?;
+        let tile = &mut self.tiles[client.index()];
+        tile.monitor.bind_service(service.0, target);
+        let cap = tile
+            .monitor
+            .install_cap(Capability::new(CapKind::Service(service), Rights::SEND))?;
+        Ok(cap)
+    }
+
+    /// Manually fail-stops a tile (operator action or watchdog).
+    pub fn fail_stop(&mut self, node: NodeId) {
+        let now = self.clock.now();
+        let tile = &mut self.tiles[node.index()];
+        tile.monitor.fail_stop(now);
+        tile.faults.push(FaultRecord {
+            code: 0,
+            at: now,
+            action: FaultAction::FailStopped,
+        });
+    }
+
+    /// Manually preempts a tile: saves and immediately restores the
+    /// accelerator's state, charging the save/restore downtime. Returns the
+    /// snapshot size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::NotPreemptible`] if the accelerator cannot
+    /// externalize state.
+    pub fn preempt(&mut self, node: NodeId) -> Result<usize, SystemError> {
+        self.check_node(node)?;
+        let now = self.clock.now();
+        let tile = &mut self.tiles[node.index()];
+        let accel = tile.accel.as_mut().ok_or(SystemError::SlotEmpty(node))?;
+        let Some(snap) = accel.save_state() else {
+            return Err(SystemError::NotPreemptible(node));
+        };
+        accel
+            .restore_state(&snap)
+            .expect("an accelerator restores its own snapshot");
+        let downtime = preemption_downtime(snap.len());
+        tile.busy_until = now + downtime;
+        tile.monitor
+            .tracer_mut()
+            .record(now, node.0, EventKind::Preempt { context: 0 });
+        Ok(snap.len())
+    }
+
+    /// Begins partial reconfiguration of `node` with a new accelerator.
+    /// The tile goes offline immediately (correspondents get errors) and
+    /// comes back reset when the bitstream finishes loading. Returns the
+    /// completion cycle.
+    ///
+    /// # Errors
+    ///
+    /// Node errors or [`SystemError::ReconfigInProgress`].
+    pub fn reconfigure(
+        &mut self,
+        node: NodeId,
+        accel: Box<dyn Accelerator>,
+        app: AppId,
+        policy: FaultPolicy,
+        bitstream_bytes: u64,
+    ) -> Result<Cycle, SystemError> {
+        self.check_node(node)?;
+        if self.reconfig.in_progress(node) {
+            return Err(SystemError::ReconfigInProgress(node));
+        }
+        let now = self.clock.now();
+        let tile = &mut self.tiles[node.index()];
+        tile.accel = None;
+        tile.app = None;
+        tile.monitor.fail_stop(now);
+        Ok(self
+            .reconfig
+            .start(now, node, accel, app, policy, bitstream_bytes))
+    }
+
+    // ------------------------------------------------------------------
+    // The cycle loop.
+    // ------------------------------------------------------------------
+
+    /// Advances the machine by one cycle.
+    pub fn tick(&mut self) {
+        let now = self.clock.tick();
+        self.noc.tick();
+
+        // Completed reconfigurations come online reset.
+        for job in self.reconfig.take_completed(now) {
+            let tile = &mut self.tiles[job.node.index()];
+            tile.monitor.reset(now);
+            tile.accel = Some(job.accel);
+            tile.app = Some(job.app);
+            tile.policy = job.policy;
+            tile.env = CapEnv::new();
+            tile.busy_until = now;
+        }
+
+        // Deliveries into monitors (fail-stopped tiles NACK here).
+        for tile in &mut self.tiles {
+            tile.monitor.pump_in(&mut self.noc, now);
+        }
+
+        // Accelerator execution.
+        for i in 0..self.tiles.len() {
+            let node = NodeId(i as u16);
+            if self.reconfig.in_progress(node) {
+                continue;
+            }
+            {
+                let tile = &self.tiles[i];
+                if tile.accel.is_none()
+                    || tile.monitor.state() == TileState::FailStopped
+                    || tile.busy_until > now
+                {
+                    continue;
+                }
+            }
+            let tile = &mut self.tiles[i];
+            let mut accel = tile.accel.take().expect("checked above");
+            let raised = {
+                let mut os = KernelOs::new(&mut tile.monitor, &tile.env, now);
+                accel.tick(&mut os);
+                os.raised
+            };
+            tile.accel = Some(accel);
+            if let Some(&code) = raised.first() {
+                self.apply_fault(node, code, now);
+            }
+        }
+
+        // Watchdog: tiles sitting on unconsumed traffic beyond their
+        // window are treated as hung (§4.4) and get the fault policy.
+        for i in 0..self.tiles.len() {
+            if self.tiles[i].monitor.hang_detected(now) {
+                self.apply_fault(NodeId(i as u16), crate::fault::WATCHDOG_FAULT, now);
+            }
+        }
+
+        // Outbound traffic into the NoC.
+        for tile in &mut self.tiles {
+            tile.monitor.pump_out(&mut self.noc, now);
+        }
+    }
+
+    /// Runs for `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Runs until no traffic has been in flight for a settle window (long
+    /// enough to cover in-progress accelerator compute), or until
+    /// `max_cycles` elapse; returns `true` on quiescence.
+    ///
+    /// "Idle" means the NoC and all outbound queues are empty. Messages
+    /// already delivered into inboxes do not count: an undriven tile (e.g.
+    /// a test client) may leave responses unread indefinitely.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
+        const SETTLE: u64 = 4096;
+        let mut quiet = 0u64;
+        for _ in 0..max_cycles {
+            self.tick();
+            if self.is_idle() {
+                quiet += 1;
+                if quiet >= SETTLE {
+                    return true;
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        self.is_idle()
+    }
+
+    /// Returns `true` when no traffic is in flight (see
+    /// [`System::run_until_idle`] for the caveat about compute in
+    /// progress).
+    pub fn is_idle(&self) -> bool {
+        self.noc.pending() == 0 && self.tiles.iter().all(|t| t.monitor.outbox_len() == 0)
+    }
+
+    fn apply_fault(&mut self, node: NodeId, code: u32, now: Cycle) {
+        let tile = &mut self.tiles[node.index()];
+        let preemptible = tile.accel.as_ref().is_some_and(|a| a.is_preemptible());
+        let action = if tile.policy == FaultPolicy::Preempt && preemptible {
+            let accel = tile.accel.as_mut().expect("present if preemptible");
+            let snap = accel.save_state().expect("preemptible accelerators save");
+            accel
+                .restore_state(&snap)
+                .expect("an accelerator restores its own snapshot");
+            let downtime = preemption_downtime(snap.len());
+            tile.busy_until = now + downtime;
+            tile.monitor
+                .tracer_mut()
+                .record(now, node.0, EventKind::Preempt { context: 0 });
+            FaultAction::Preempted { downtime }
+        } else {
+            tile.monitor.fail_stop(now);
+            FaultAction::FailStopped
+        };
+        tile.faults.push(FaultRecord {
+            code,
+            at: now,
+            action,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (Figure 1 rendering and debugging).
+    // ------------------------------------------------------------------
+
+    /// Collects every tile's trace events into one time-sorted stream —
+    /// system-wide `strace` for the message layer (§3's debugging goal).
+    /// Tiles must have been configured with a nonzero `trace_depth` to
+    /// contribute ring events; counter-only monitors contribute nothing.
+    pub fn merged_trace(&self) -> Vec<apiary_trace::Event> {
+        let mut events: Vec<apiary_trace::Event> = self
+            .tiles
+            .iter()
+            .flat_map(|t| t.monitor.tracer().events().cloned())
+            .collect();
+        events.sort_by_key(|e| (e.at, e.tile));
+        events
+    }
+
+    /// Renders the tile map as ASCII art — the textual reproduction of the
+    /// paper's Figure 1 for an arbitrary configuration.
+    pub fn render_map(&self) -> String {
+        use core::fmt::Write;
+        let mesh = self.noc.mesh();
+        let mut out = String::new();
+        const W: usize = 20;
+        for y in (0..mesh.height).rev() {
+            let mut row_top = String::new();
+            let mut row_mid = String::new();
+            let mut row_bot = String::new();
+            for x in 0..mesh.width {
+                let n = mesh.node(apiary_noc::Coord::new(x, y));
+                let tile = &self.tiles[n.index()];
+                let app = tile
+                    .app
+                    .map(|a| format!("{a}"))
+                    .unwrap_or_else(|| "free".to_string());
+                let state = match tile.monitor.state() {
+                    TileState::Running => "",
+                    TileState::FailStopped => "!",
+                };
+                let name: String = tile.accel_name().chars().take(W - 4).collect();
+                row_top.push_str(&format!("+{:-<w$}", "", w = W - 1));
+                row_mid.push_str(&format!("|{:<w$}", format!("{n}{state} {name}"), w = W - 1));
+                row_bot.push_str(&format!("|{:<w$}", format!("  {app} [mon+rtr]"), w = W - 1));
+            }
+            let _ = writeln!(out, "{row_top}+");
+            let _ = writeln!(out, "{row_mid}|");
+            let _ = writeln!(out, "{row_bot}|");
+        }
+        let _ = writeln!(
+            out,
+            "{}+",
+            format!("+{:-<w$}", "", w = W - 1).repeat(mesh.width as usize)
+        );
+        out
+    }
+}

@@ -1,0 +1,646 @@
+//! Kernel-level integration tests: full systems on a real NoC.
+
+use apiary_accel::apps::echo::{echo, EchoAccel};
+use apiary_accel::apps::faulty::faulty;
+use apiary_accel::apps::idle::idle;
+use apiary_accel::apps::kv::{self, KvStoreAccel};
+use apiary_core::memsvc::MemoryService;
+use apiary_core::{AppId, FaultPolicy, System, SystemConfig};
+use apiary_monitor::{wire, TileState};
+use apiary_noc::{NodeId, TrafficClass};
+
+fn small_system() -> System {
+    System::new(SystemConfig::default()) // 4x4, memory service at n15.
+}
+
+/// Drives a request from a bare client tile by poking its monitor directly.
+fn client_send(
+    sys: &mut System,
+    from: NodeId,
+    cap: apiary_cap::CapRef,
+    tag: u64,
+    payload: Vec<u8>,
+) {
+    let now = sys.now();
+    sys.tile_mut(from)
+        .monitor
+        .send(
+            cap,
+            wire::KIND_REQUEST,
+            tag,
+            TrafficClass::Request,
+            payload,
+            now,
+        )
+        .expect("send accepted");
+}
+
+fn client_recv(sys: &mut System, at: NodeId) -> Option<apiary_noc::Delivered> {
+    sys.tile_mut(at).monitor.recv()
+}
+
+#[test]
+fn echo_request_response_end_to_end() {
+    let mut sys = small_system();
+    let client = NodeId(0);
+    let server = NodeId(5);
+    sys.install(client, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(server, Box::new(echo(3)), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    let cap = sys.connect(client, server, false).expect("same app");
+    // Reply path.
+    sys.connect(server, client, false).expect("same app");
+
+    client_send(&mut sys, client, cap, 77, vec![1, 2, 3]);
+    assert!(sys.run_until_idle(10_000));
+    let d = client_recv(&mut sys, client).expect("response came back");
+    assert_eq!(d.msg.kind, wire::KIND_RESPONSE);
+    assert_eq!(d.msg.tag, 77);
+    assert_eq!(d.msg.payload, vec![1, 2, 3]);
+    assert_eq!(d.msg.src, server);
+}
+
+#[test]
+fn cross_app_connect_requires_explicit_allow() {
+    let mut sys = small_system();
+    sys.install(
+        NodeId(0),
+        Box::new(echo(1)),
+        AppId(1),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    sys.install(
+        NodeId(1),
+        Box::new(echo(1)),
+        AppId(2),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    assert!(matches!(
+        sys.connect(NodeId(0), NodeId(1), false),
+        Err(apiary_core::SystemError::CrossAppConnect { .. })
+    ));
+    sys.connect(NodeId(0), NodeId(1), true).expect("explicit");
+}
+
+#[test]
+fn unconnected_tiles_cannot_communicate() {
+    let mut sys = small_system();
+    sys.install(
+        NodeId(0),
+        Box::new(echo(1)),
+        AppId(1),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    sys.install(
+        NodeId(1),
+        Box::new(echo(1)),
+        AppId(2),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    // No connect: nothing to send through. The only authority tile 0 holds
+    // is none at all.
+    assert_eq!(sys.tile(NodeId(0)).monitor.caps().live(), 0);
+}
+
+#[test]
+fn connecting_to_os_service_is_implicitly_allowed() {
+    let mut sys = small_system();
+    sys.install(
+        NodeId(0),
+        Box::new(echo(1)),
+        AppId(7),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    // The memory tile belongs to OS_APP; no allow_cross_app needed.
+    sys.connect(NodeId(0), sys.mem_node(), false)
+        .expect("OS services are reachable");
+}
+
+#[test]
+fn memory_read_write_through_the_service() {
+    let mut sys = small_system();
+    let client = NodeId(2);
+    sys.install(client, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    let mem_cap = sys.grant_memory(client, 4096).expect("memory available");
+
+    // Drive the monitor directly as a stand-in for accelerator logic.
+    let svc = sys.tile(client).env.get("mem-service").expect("wired");
+    let now = sys.now();
+    sys.tile_mut(client)
+        .monitor
+        .send_mem(
+            mem_cap,
+            svc,
+            apiary_mem::AccessKind::Write,
+            64,
+            4,
+            &[0xAA, 0xBB, 0xCC, 0xDD],
+            1,
+            now,
+        )
+        .expect("in bounds");
+    assert!(sys.run_until_idle(10_000));
+    let ack = client_recv(&mut sys, client).expect("write ack");
+    assert_eq!(ack.msg.kind, wire::KIND_MEM_REPLY);
+
+    let now = sys.now();
+    sys.tile_mut(client)
+        .monitor
+        .send_mem(
+            mem_cap,
+            svc,
+            apiary_mem::AccessKind::Read,
+            64,
+            4,
+            &[],
+            2,
+            now,
+        )
+        .expect("in bounds");
+    assert!(sys.run_until_idle(10_000));
+    let data = client_recv(&mut sys, client).expect("read completion");
+    assert_eq!(data.msg.payload, vec![0xAA, 0xBB, 0xCC, 0xDD]);
+
+    // Out-of-segment access is refused locally.
+    let now = sys.now();
+    let err = sys
+        .tile_mut(client)
+        .monitor
+        .send_mem(
+            mem_cap,
+            svc,
+            apiary_mem::AccessKind::Read,
+            4090,
+            16,
+            &[],
+            3,
+            now,
+        )
+        .expect_err("out of bounds");
+    assert!(matches!(err, apiary_monitor::SendError::Protect(_)));
+}
+
+#[test]
+fn memory_isolation_between_tiles() {
+    let mut sys = small_system();
+    let a = NodeId(1);
+    let b = NodeId(2);
+    sys.install(a, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(b, Box::new(idle()), AppId(2), FaultPolicy::FailStop)
+        .expect("free");
+    let cap_a = sys.grant_memory(a, 1024).expect("space");
+    let cap_b = sys.grant_memory(b, 1024).expect("space");
+    // The two segments are disjoint physical ranges.
+    let seg_a = match sys.tile(a).monitor.caps().lookup(cap_a).expect("live").kind {
+        apiary_cap::CapKind::Memory(r) => r,
+        _ => panic!("memory cap"),
+    };
+    let seg_b = match sys.tile(b).monitor.caps().lookup(cap_b).expect("live").kind {
+        apiary_cap::CapKind::Memory(r) => r,
+        _ => panic!("memory cap"),
+    };
+    assert!(!seg_a.overlaps(&seg_b));
+    // Tile B's capability handle is meaningless at tile A (different table),
+    // and A cannot address outside its own segment at all: offsets are
+    // segment-relative and bounds-checked.
+    let svc = sys.tile(a).env.get("mem-service").expect("wired");
+    let now = sys.now();
+    let err = sys
+        .tile_mut(a)
+        .monitor
+        .send_mem(
+            cap_a,
+            svc,
+            apiary_mem::AccessKind::Read,
+            1024,
+            8,
+            &[],
+            1,
+            now,
+        )
+        .expect_err("offset beyond own segment");
+    assert!(matches!(err, apiary_monitor::SendError::Protect(_)));
+}
+
+#[test]
+fn release_memory_returns_segment() {
+    let mut sys = small_system();
+    sys.install(NodeId(1), Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    let before = sys.mem_stats().free;
+    let cap = sys.grant_memory(NodeId(1), 1 << 20).expect("space");
+    assert_eq!(sys.mem_stats().free, before - (1 << 20));
+    sys.release_memory(NodeId(1), cap).expect("live grant");
+    assert_eq!(sys.mem_stats().free, before);
+    // The handle is dead now.
+    assert!(sys.release_memory(NodeId(1), cap).is_err());
+}
+
+#[test]
+fn fail_stop_contains_fault_and_isolates() {
+    let mut sys = small_system();
+    let client = NodeId(0);
+    let victim = NodeId(5);
+    let bystander = NodeId(6);
+    sys.install(client, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(victim, Box::new(faulty(2)), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(
+        bystander,
+        Box::new(echo(1)),
+        AppId(2),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    let cap = sys.connect(client, victim, false).expect("same app");
+    sys.connect(victim, client, false).expect("reply path");
+
+    // First request is served; the second faults the accelerator.
+    client_send(&mut sys, client, cap, 1, vec![1]);
+    assert!(sys.run_until_idle(10_000));
+    assert!(client_recv(&mut sys, client).is_some());
+
+    client_send(&mut sys, client, cap, 2, vec![2]);
+    assert!(sys.run_until_idle(10_000));
+    assert_eq!(sys.tile(victim).monitor.state(), TileState::FailStopped);
+    assert_eq!(sys.tile(victim).faults.len(), 1);
+
+    // Requests to the dead tile now come back as errors.
+    client_send(&mut sys, client, cap, 3, vec![3]);
+    assert!(sys.run_until_idle(10_000));
+    let d = client_recv(&mut sys, client).expect("error reply");
+    assert_eq!(d.msg.kind, wire::KIND_ERROR);
+    assert_eq!(d.msg.payload[0], wire::err::TARGET_FAILED);
+    assert_eq!(d.msg.tag, 3);
+
+    // The bystander tile is untouched.
+    assert_eq!(sys.tile(bystander).monitor.state(), TileState::Running);
+    assert!(sys.tile(bystander).faults.is_empty());
+}
+
+#[test]
+fn preempt_policy_survives_fault_with_downtime() {
+    let mut sys = small_system();
+    let client = NodeId(0);
+    let server = NodeId(5);
+    sys.install(client, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    // KV store is preemptible; run it under the Preempt policy with a
+    // faulty companion? Use faulty() which is also preemptible.
+    sys.install(server, Box::new(faulty(2)), AppId(1), FaultPolicy::Preempt)
+        .expect("free");
+    let cap = sys.connect(client, server, false).expect("same app");
+    sys.connect(server, client, false).expect("reply path");
+
+    client_send(&mut sys, client, cap, 1, vec![1]);
+    assert!(sys.run_until_idle(20_000));
+    assert!(client_recv(&mut sys, client).is_some());
+
+    client_send(&mut sys, client, cap, 2, vec![2]);
+    assert!(sys.run_until_idle(20_000));
+    // Preempted, not fail-stopped.
+    assert_eq!(sys.tile(server).monitor.state(), TileState::Running);
+    let rec = sys.tile(server).faults[0];
+    assert!(matches!(
+        rec.action,
+        apiary_core::fault::FaultAction::Preempted { downtime } if downtime > 0
+    ));
+
+    // The tile keeps serving after its downtime. (FaultyService::served is
+    // preserved across the swap, so it no longer faults at 2: served=2 >=
+    // fault_after=2 means it would fault again... send request and expect
+    // another preemption rather than death — the tile stays alive.)
+    client_send(&mut sys, client, cap, 3, vec![3]);
+    assert!(sys.run_until_idle(50_000));
+    assert_eq!(sys.tile(server).monitor.state(), TileState::Running);
+}
+
+#[test]
+fn kv_store_multi_tenant_over_the_noc() {
+    let mut sys = small_system();
+    let tenant_a = NodeId(0);
+    let tenant_b = NodeId(3);
+    let store = NodeId(9);
+    sys.install(tenant_a, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(tenant_b, Box::new(idle()), AppId(2), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(
+        store,
+        Box::new(kv::kv_store()),
+        AppId(3),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    let cap_a = sys
+        .connect_badged(tenant_a, store, 0xA, true)
+        .expect("explicit cross-app");
+    let cap_b = sys
+        .connect_badged(tenant_b, store, 0xB, true)
+        .expect("explicit cross-app");
+    sys.connect(store, tenant_a, true).expect("reply path");
+    sys.connect(store, tenant_b, true).expect("reply path");
+
+    // Both tenants put under the same key.
+    client_send(&mut sys, tenant_a, cap_a, 1, kv::put_req(b"k", b"A"));
+    client_send(&mut sys, tenant_b, cap_b, 1, kv::put_req(b"k", b"B"));
+    assert!(sys.run_until_idle(20_000));
+    client_recv(&mut sys, tenant_a).expect("ack");
+    client_recv(&mut sys, tenant_b).expect("ack");
+
+    // Each reads back its own value.
+    client_send(&mut sys, tenant_a, cap_a, 2, kv::get_req(b"k"));
+    client_send(&mut sys, tenant_b, cap_b, 2, kv::get_req(b"k"));
+    assert!(sys.run_until_idle(20_000));
+    let ra = client_recv(&mut sys, tenant_a).expect("value");
+    let rb = client_recv(&mut sys, tenant_b).expect("value");
+    assert_eq!(
+        kv::parse_resp(&ra.msg.payload),
+        Some((kv::status::OK, Some(b"A".as_slice())))
+    );
+    assert_eq!(
+        kv::parse_resp(&rb.msg.payload),
+        Some((kv::status::OK, Some(b"B".as_slice())))
+    );
+    let store_accel = sys.accel_as::<KvStoreAccel>(store).expect("installed");
+    assert_eq!(store_accel.service().len(), 2);
+}
+
+#[test]
+fn reconfigure_swaps_accelerator_and_revokes_authority() {
+    let mut sys = small_system();
+    let node = NodeId(4);
+    sys.install(node, Box::new(faulty(1)), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.grant_memory(node, 1024).expect("space");
+    assert!(sys.tile(node).monitor.caps().live() > 0);
+
+    let done = sys
+        .reconfigure(
+            node,
+            Box::new(echo(1)),
+            AppId(2),
+            FaultPolicy::FailStop,
+            4096,
+        )
+        .expect("not already reconfiguring");
+    assert!(done > sys.now());
+    // Mid-reconfig: offline.
+    sys.run(10);
+    assert_eq!(sys.tile(node).monitor.state(), TileState::FailStopped);
+    assert!(matches!(
+        sys.reconfigure(node, Box::new(echo(1)), AppId(2), FaultPolicy::FailStop, 1),
+        Err(apiary_core::SystemError::ReconfigInProgress(_))
+    ));
+    // After completion: fresh accelerator, empty capability table.
+    let wait = done - sys.now();
+    sys.run(wait + 2);
+    assert_eq!(sys.tile(node).monitor.state(), TileState::Running);
+    assert_eq!(sys.tile(node).accel_name(), "echo");
+    assert_eq!(sys.tile(node).app, Some(AppId(2)));
+    assert_eq!(
+        sys.tile(node).monitor.caps().live(),
+        0,
+        "reconfiguration revokes all prior authority"
+    );
+}
+
+#[test]
+fn manual_preempt_roundtrips_state() {
+    let mut sys = small_system();
+    let node = NodeId(3);
+    sys.install(node, Box::new(echo(1)), AppId(1), FaultPolicy::Preempt)
+        .expect("free");
+    let bytes = sys.preempt(node).expect("echo is preemptible");
+    assert_eq!(bytes, 0, "echo has no state");
+    assert!(sys.tile(node).busy_until > sys.now());
+
+    // Non-preemptible accelerators refuse.
+    let node2 = NodeId(7);
+    sys.install(
+        node2,
+        Box::new(apiary_accel::apps::video::video_encoder(0)),
+        AppId(1),
+        FaultPolicy::Preempt,
+    )
+    .expect("free");
+    assert!(matches!(
+        sys.preempt(node2),
+        Err(apiary_core::SystemError::NotPreemptible(_))
+    ));
+}
+
+#[test]
+fn render_map_shows_configuration() {
+    let mut sys = small_system();
+    sys.install(
+        NodeId(0),
+        Box::new(echo(1)),
+        AppId(1),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    let map = sys.render_map();
+    assert!(map.contains("echo"));
+    assert!(map.contains("memory-service"));
+    assert!(map.contains("app1"));
+    assert!(map.contains("free"));
+    assert!(map.contains("[mon+rtr]"), "every tile shows monitor+router");
+}
+
+#[test]
+fn install_rejects_occupied_and_bad_nodes() {
+    let mut sys = small_system();
+    assert!(matches!(
+        sys.install(
+            NodeId(99),
+            Box::new(echo(1)),
+            AppId(1),
+            FaultPolicy::FailStop
+        ),
+        Err(apiary_core::SystemError::BadNode(_))
+    ));
+    let mem = sys.mem_node();
+    assert!(matches!(
+        sys.install(mem, Box::new(echo(1)), AppId(1), FaultPolicy::FailStop),
+        Err(apiary_core::SystemError::SlotOccupied(_))
+    ));
+}
+
+#[test]
+fn memory_service_stats_reachable_via_downcast() {
+    let sys = small_system();
+    let svc = sys
+        .accel_as::<MemoryService>(sys.mem_node())
+        .expect("memory service installed at boot");
+    assert_eq!(svc.capacity(), SystemConfig::default().mem_capacity);
+}
+
+#[test]
+fn echo_accel_type_is_downcastable() {
+    let mut sys = small_system();
+    sys.install(
+        NodeId(0),
+        Box::new(echo(1)),
+        AppId(1),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    assert!(sys.accel_as::<EchoAccel>(NodeId(0)).is_some());
+    assert!(sys.accel_as::<KvStoreAccel>(NodeId(0)).is_none());
+}
+
+#[test]
+fn shared_memory_segment_between_tiles() {
+    let mut sys = small_system();
+    let producer = NodeId(1);
+    let consumer = NodeId(2);
+    sys.install(producer, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(consumer, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    let owner_cap = sys.grant_memory(producer, 4096).expect("space");
+    // Share the first 256 bytes read-only with the consumer.
+    let shared = sys
+        .share_memory(
+            producer,
+            owner_cap,
+            consumer,
+            apiary_cap::Rights::READ,
+            Some(apiary_cap::MemRange::new(
+                match sys
+                    .tile(producer)
+                    .monitor
+                    .caps()
+                    .lookup(owner_cap)
+                    .expect("live")
+                    .kind
+                {
+                    apiary_cap::CapKind::Memory(r) => r.base,
+                    _ => unreachable!(),
+                },
+                256,
+            )),
+        )
+        .expect("sharable");
+
+    // Producer writes; consumer reads the same bytes back.
+    let svc_p = sys.tile(producer).env.get("mem-service").expect("wired");
+    let now = sys.now();
+    sys.tile_mut(producer)
+        .monitor
+        .send_mem(
+            owner_cap,
+            svc_p,
+            apiary_mem::AccessKind::Write,
+            0,
+            4,
+            &[9, 9, 9, 9],
+            1,
+            now,
+        )
+        .expect("in bounds");
+    assert!(sys.run_until_idle(100_000));
+    client_recv(&mut sys, producer).expect("ack");
+
+    let svc_c = sys.tile(consumer).env.get("mem-service").expect("wired");
+    let now = sys.now();
+    sys.tile_mut(consumer)
+        .monitor
+        .send_mem(
+            shared,
+            svc_c,
+            apiary_mem::AccessKind::Read,
+            0,
+            4,
+            &[],
+            2,
+            now,
+        )
+        .expect("in bounds");
+    assert!(sys.run_until_idle(100_000));
+    let d = client_recv(&mut sys, consumer).expect("data");
+    assert_eq!(d.msg.payload, vec![9, 9, 9, 9], "shared bytes visible");
+
+    // The consumer's view is read-only and bounded.
+    let now = sys.now();
+    assert!(sys
+        .tile_mut(consumer)
+        .monitor
+        .send_mem(
+            shared,
+            svc_c,
+            apiary_mem::AccessKind::Write,
+            0,
+            1,
+            &[1],
+            3,
+            now
+        )
+        .is_err());
+    let now = sys.now();
+    assert!(sys
+        .tile_mut(consumer)
+        .monitor
+        .send_mem(
+            shared,
+            svc_c,
+            apiary_mem::AccessKind::Read,
+            250,
+            16,
+            &[],
+            4,
+            now
+        )
+        .is_err());
+}
+
+#[test]
+fn share_memory_cannot_amplify_rights_or_widen() {
+    let mut sys = small_system();
+    sys.install(NodeId(1), Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(NodeId(2), Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    let cap = sys.grant_memory(NodeId(1), 1024).expect("space");
+    let base = match sys
+        .tile(NodeId(1))
+        .monitor
+        .caps()
+        .lookup(cap)
+        .expect("live")
+        .kind
+    {
+        apiary_cap::CapKind::Memory(r) => r.base,
+        _ => unreachable!(),
+    };
+    // GRANT was never given to the owner cap, so sharing more rights than
+    // READ|WRITE is refused; widening the range is refused too.
+    assert!(sys
+        .share_memory(
+            NodeId(1),
+            cap,
+            NodeId(2),
+            apiary_cap::Rights::READ | apiary_cap::Rights::MANAGE,
+            None
+        )
+        .is_err());
+    assert!(sys
+        .share_memory(
+            NodeId(1),
+            cap,
+            NodeId(2),
+            apiary_cap::Rights::READ,
+            Some(apiary_cap::MemRange::new(base, 2048))
+        )
+        .is_err());
+}

@@ -1,0 +1,88 @@
+//! The activity-weighted energy proxy for E4.
+//!
+//! We do not model joules; we model *relative* energy between the direct
+//! and host-mediated paths using activity counts times per-component power
+//! weights. The weights encode the well-known order-of-magnitude gap
+//! between a server CPU core and FPGA fabric logic:
+//!
+//! - A busy server core burns ~10 W; at 250 M fabric-cycles/s that is
+//!   ~40 nJ per fabric cycle of CPU work.
+//! - An FPGA region serving one accelerator burns ~2-5 W; call it 12 nJ
+//!   per cycle.
+//! - Moving a byte over PCIe costs ~1 nJ; over the NoC, ~0.1 nJ.
+//!
+//! Only the ratios matter for the experiment's conclusion; the absolute
+//! scale is arbitrary ("units").
+
+/// Per-activity energy weights (energy units per cycle or per byte).
+#[derive(Debug, Clone, Copy)]
+pub struct PowerWeights {
+    /// Per CPU-core busy cycle.
+    pub cpu_cycle: f64,
+    /// Per FPGA accelerator busy cycle.
+    pub fpga_cycle: f64,
+    /// Per byte crossing PCIe.
+    pub pcie_byte: f64,
+    /// Per byte crossing the on-chip NoC.
+    pub noc_byte: f64,
+}
+
+impl Default for PowerWeights {
+    fn default() -> Self {
+        PowerWeights {
+            cpu_cycle: 40.0,
+            fpga_cycle: 12.0,
+            pcie_byte: 1.0,
+            noc_byte: 0.1,
+        }
+    }
+}
+
+/// Computes energy for a measured run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyModel {
+    /// The weights in use.
+    pub weights: PowerWeights,
+}
+
+impl EnergyModel {
+    /// Creates a model with default weights.
+    pub fn new() -> EnergyModel {
+        EnergyModel::default()
+    }
+
+    /// Energy of a host-mediated run.
+    pub fn host_energy(&self, cpu_busy: u64, fpga_busy: u64, pcie_bytes: u64) -> f64 {
+        cpu_busy as f64 * self.weights.cpu_cycle
+            + fpga_busy as f64 * self.weights.fpga_cycle
+            + pcie_bytes as f64 * self.weights.pcie_byte
+    }
+
+    /// Energy of a direct-attached run (no CPU, no PCIe).
+    pub fn direct_energy(&self, fpga_busy: u64, noc_bytes: u64) -> f64 {
+        fpga_busy as f64 * self.weights.fpga_cycle + noc_bytes as f64 * self.weights.noc_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_useful_work_direct_wins() {
+        let m = EnergyModel::new();
+        // 1000 cycles of accelerator work either way; host adds 850 CPU
+        // cycles and 128 PCIe bytes; direct adds 128 NoC bytes.
+        let host = m.host_energy(850, 1000, 128);
+        let direct = m.direct_energy(1000, 128);
+        assert!(host > direct * 2.0, "host {host} vs direct {direct}");
+    }
+
+    #[test]
+    fn energy_is_monotone_in_activity() {
+        let m = EnergyModel::new();
+        assert!(m.host_energy(2, 1, 1) > m.host_energy(1, 1, 1));
+        assert!(m.direct_energy(2, 1) > m.direct_energy(1, 1));
+        assert_eq!(m.direct_energy(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Host-mediated FPGA baselines.
+//!
+//! The paper's motivation (§1) is that direct-attached FPGAs beat
+//! CPU-mediated ones on latency, latency variability, resource overhead and
+//! energy. This crate implements the *other* side of that comparison — the
+//! hosted model of AmorphOS and Coyote (§5) — as an event-driven queueing
+//! simulation:
+//!
+//! ```text
+//! client --wire--> host NIC --CPU(rx)--> PCIe --> FPGA compute
+//!        <--wire-- host NIC <--CPU(tx)-- PCIe <--/
+//! ```
+//!
+//! Every request costs CPU time (interrupt + network stack + dispatch +
+//! completion) on a finite pool of cores, plus two PCIe crossings; the
+//! direct-attached Apiary path replaces all of that with a MAC-to-NoC hop.
+//! Cost constants are expressed in 250 MHz fabric cycles (4 ns each) and
+//! documented on [`HostConfig`].
+//!
+//! [`energy`] provides the activity-weighted energy proxy used by E4.
+
+pub mod energy;
+pub mod hostsim;
+pub mod resource;
+
+pub use energy::{EnergyModel, PowerWeights};
+pub use hostsim::{HostConfig, HostMode, HostSim, HostStats};
+pub use resource::Resource;

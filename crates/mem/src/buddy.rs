@@ -1,0 +1,275 @@
+//! A binary buddy allocator.
+//!
+//! The buddy system sits between segments and pages in the §4.6 design
+//! space: allocation and free are O(log n) and coalescing is implicit, but
+//! every allocation is rounded up to a power of two, re-introducing internal
+//! fragmentation. Experiment E7 uses it as the middle data point.
+
+use crate::segment::AllocError;
+use apiary_cap::MemRange;
+
+/// A binary buddy allocator over `[0, 2^max_order * min_block)`.
+///
+/// # Examples
+///
+/// ```
+/// use apiary_mem::BuddyAllocator;
+///
+/// // 1 MiB arena with 256-byte minimum blocks.
+/// let mut b = BuddyAllocator::new(256, 12);
+/// let seg = b.alloc(1000).expect("space");
+/// assert_eq!(seg.len, 1024, "rounded up to a power of two");
+/// b.free(seg).expect("was allocated");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    min_block: u64,
+    max_order: u32,
+    /// `free[k]` holds base addresses of free blocks of size
+    /// `min_block << k`, each kept sorted for determinism.
+    free: Vec<Vec<u64>>,
+    /// Live allocations: (base, order, requested_len), sorted by base.
+    live: Vec<(u64, u32, u64)>,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator whose arena is `min_block << max_order` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_block` is not a power of two or the arena would
+    /// overflow `u64`.
+    pub fn new(min_block: u64, max_order: u32) -> BuddyAllocator {
+        assert!(
+            min_block.is_power_of_two(),
+            "min_block must be a power of two"
+        );
+        assert!(
+            (max_order as u64) < 63 && min_block.checked_shl(max_order).is_some(),
+            "arena too large"
+        );
+        let mut free = vec![Vec::new(); max_order as usize + 1];
+        free[max_order as usize].push(0);
+        BuddyAllocator {
+            min_block,
+            max_order,
+            free,
+            live: Vec::new(),
+        }
+    }
+
+    /// Total bytes managed.
+    pub fn total(&self) -> u64 {
+        self.min_block << self.max_order
+    }
+
+    fn order_for(&self, len: u64) -> Option<u32> {
+        let blocks = len.div_ceil(self.min_block).max(1);
+        let order = blocks.next_power_of_two().trailing_zeros();
+        if order > self.max_order {
+            None
+        } else {
+            Some(order)
+        }
+    }
+
+    /// Allocates at least `len` bytes (rounded up to a power-of-two block).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ZeroLength`] or [`AllocError::NoSpace`].
+    pub fn alloc(&mut self, len: u64) -> Result<MemRange, AllocError> {
+        if len == 0 {
+            return Err(AllocError::ZeroLength);
+        }
+        let want = self.order_for(len).ok_or_else(|| self.no_space(len))?;
+        // Find the smallest order >= want with a free block.
+        let mut k = want;
+        loop {
+            if !self.free[k as usize].is_empty() {
+                break;
+            }
+            if k == self.max_order {
+                return Err(self.no_space(len));
+            }
+            k += 1;
+        }
+        // Pop the lowest-addressed block for determinism, splitting down.
+        let base = self.free[k as usize].remove(0);
+        while k > want {
+            k -= 1;
+            let buddy = base + (self.min_block << k);
+            let list = &mut self.free[k as usize];
+            let pos = list.partition_point(|&b| b < buddy);
+            list.insert(pos, buddy);
+        }
+        let pos = self.live.partition_point(|&(b, _, _)| b < base);
+        self.live.insert(pos, (base, want, len));
+        Ok(MemRange::new(base, self.min_block << want))
+    }
+
+    fn no_space(&self, requested: u64) -> AllocError {
+        let total_free: u64 = self
+            .free
+            .iter()
+            .enumerate()
+            .map(|(k, v)| (self.min_block << k) * v.len() as u64)
+            .sum();
+        let largest_free = self
+            .free
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, v)| !v.is_empty())
+            .map(|(k, _)| self.min_block << k)
+            .unwrap_or(0);
+        AllocError::NoSpace {
+            requested,
+            largest_free,
+            total_free,
+        }
+    }
+
+    /// Frees a block returned by [`BuddyAllocator::alloc`], merging buddies.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BadFree`] for ranges not currently allocated.
+    pub fn free(&mut self, range: MemRange) -> Result<(), AllocError> {
+        let pos = self
+            .live
+            .binary_search_by_key(&range.base, |&(b, _, _)| b)
+            .map_err(|_| AllocError::BadFree)?;
+        let (base, order, _) = self.live[pos];
+        if self.min_block << order != range.len {
+            return Err(AllocError::BadFree);
+        }
+        self.live.remove(pos);
+        let mut base = base;
+        let mut k = order;
+        // Merge with the buddy while it is free.
+        while k < self.max_order {
+            let size = self.min_block << k;
+            let buddy = base ^ size;
+            let list = &mut self.free[k as usize];
+            match list.binary_search(&buddy) {
+                Ok(i) => {
+                    list.remove(i);
+                    base = base.min(buddy);
+                    k += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        let list = &mut self.free[k as usize];
+        let pos = list.partition_point(|&b| b < base);
+        list.insert(pos, base);
+        Ok(())
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(k, v)| (self.min_block << k) * v.len() as u64)
+            .sum()
+    }
+
+    /// Internal fragmentation across live allocations: allocated bytes minus
+    /// requested bytes.
+    pub fn internal_fragmentation(&self) -> u64 {
+        self.live
+            .iter()
+            .map(|&(_, order, req)| (self.min_block << order) - req)
+            .sum()
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_power_of_two() {
+        let mut b = BuddyAllocator::new(256, 12);
+        assert_eq!(b.alloc(1).expect("space").len, 256);
+        assert_eq!(b.alloc(257).expect("space").len, 512);
+        assert_eq!(b.alloc(1024).expect("space").len, 1024);
+    }
+
+    #[test]
+    fn split_and_merge_restores_arena() {
+        let mut b = BuddyAllocator::new(64, 6); // 4 KiB arena.
+        let total = b.total();
+        let segs: Vec<_> = (0..8).map(|_| b.alloc(64).expect("space")).collect();
+        assert_eq!(b.free_bytes(), total - 8 * 64);
+        for s in segs {
+            b.free(s).expect("live");
+        }
+        assert_eq!(b.free_bytes(), total);
+        // The arena must have merged back into a single max-order block.
+        let big = b.alloc(total).expect("fully merged");
+        assert_eq!(big.base, 0);
+        assert_eq!(big.len, total);
+    }
+
+    #[test]
+    fn buddies_merge_out_of_order() {
+        let mut b = BuddyAllocator::new(64, 4);
+        let a1 = b.alloc(64).expect("space");
+        let a2 = b.alloc(64).expect("space");
+        let a3 = b.alloc(64).expect("space");
+        b.free(a2).expect("live");
+        b.free(a1).expect("live");
+        b.free(a3).expect("live");
+        assert_eq!(b.free_bytes(), b.total());
+        assert!(b.alloc(b.total()).is_ok());
+    }
+
+    #[test]
+    fn no_space_when_oversized() {
+        let mut b = BuddyAllocator::new(64, 4); // 1 KiB.
+        assert!(matches!(b.alloc(2048), Err(AllocError::NoSpace { .. })));
+    }
+
+    #[test]
+    fn internal_fragmentation_accounts_rounding() {
+        let mut b = BuddyAllocator::new(256, 12);
+        let _s = b.alloc(300).expect("space"); // Rounds to 512.
+        assert_eq!(b.internal_fragmentation(), 212);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut b = BuddyAllocator::new(64, 4);
+        let s = b.alloc(64).expect("space");
+        b.free(s).expect("live");
+        assert_eq!(b.free(s), Err(AllocError::BadFree));
+    }
+
+    #[test]
+    fn zero_len_rejected() {
+        let mut b = BuddyAllocator::new(64, 4);
+        assert_eq!(b.alloc(0), Err(AllocError::ZeroLength));
+    }
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut b = BuddyAllocator::new(64, 8);
+        let mut live: Vec<MemRange> = Vec::new();
+        for i in 0..20 {
+            if let Ok(s) = b.alloc(64 * (1 + i % 4)) {
+                for other in &live {
+                    assert!(!s.overlaps(other), "{s} overlaps {other}");
+                }
+                live.push(s);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! A banked DRAM timing model.
+//!
+//! Memory experiments need latency numbers that respond to access *patterns*
+//! (row-buffer locality, bank conflicts) rather than a constant. This model
+//! captures the first-order DDR4 behaviour: per-bank open rows, row
+//! hit/miss/conflict timing, and per-bank busy windows that serialise
+//! conflicting accesses.
+
+use apiary_sim::Cycle;
+
+/// DRAM organisation and timing (in controller-clock cycles).
+#[derive(Debug, Clone, Copy)]
+pub struct DramConfig {
+    /// Number of independent banks.
+    pub banks: usize,
+    /// Bytes per row (row-buffer size).
+    pub row_bytes: u64,
+    /// Activate-to-read delay (tRCD).
+    pub t_rcd: u64,
+    /// Read latency once the row is open (tCAS/CL).
+    pub t_cas: u64,
+    /// Precharge delay (tRP).
+    pub t_rp: u64,
+    /// Cycles to stream one 64-byte burst once the column is selected.
+    pub t_burst: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // Representative DDR4-2400 timings scaled to a 250 MHz fabric clock:
+        // ~15 ns each for tRCD/tCAS/tRP is ~4 cycles at 4 ns/cycle.
+        DramConfig {
+            banks: 16,
+            row_bytes: 8192,
+            t_rcd: 4,
+            t_cas: 4,
+            t_rp: 4,
+            t_burst: 1,
+        }
+    }
+}
+
+/// The timing model: tracks per-bank open rows and availability.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    cfg: DramConfig,
+    /// Open row per bank (`None` = precharged).
+    open_row: Vec<Option<u64>>,
+    /// Cycle at which each bank becomes free.
+    bank_free_at: Vec<Cycle>,
+    row_hits: u64,
+    row_misses: u64,
+    row_conflicts: u64,
+}
+
+impl DramModel {
+    /// Creates a model from a configuration.
+    pub fn new(cfg: DramConfig) -> DramModel {
+        DramModel {
+            open_row: vec![None; cfg.banks],
+            bank_free_at: vec![Cycle::ZERO; cfg.banks],
+            cfg,
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    fn bank_and_row(&self, addr: u64) -> (usize, u64) {
+        let row_global = addr / self.cfg.row_bytes;
+        // Interleave consecutive rows across banks for parallelism.
+        let bank = (row_global % self.cfg.banks as u64) as usize;
+        let row = row_global / self.cfg.banks as u64;
+        (bank, row)
+    }
+
+    /// Issues an access of `len` bytes at `addr` beginning no earlier than
+    /// `now`; returns the cycle at which the data transfer completes.
+    ///
+    /// The access is charged row-hit, row-miss (precharged) or row-conflict
+    /// (wrong row open) timing, plus burst cycles proportional to `len`.
+    pub fn access(&mut self, now: Cycle, addr: u64, len: u64) -> Cycle {
+        let (bank, row) = self.bank_and_row(addr);
+        let start = now.max(self.bank_free_at[bank]);
+        let setup = match self.open_row[bank] {
+            Some(open) if open == row => {
+                self.row_hits += 1;
+                self.cfg.t_cas
+            }
+            Some(_) => {
+                self.row_conflicts += 1;
+                self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
+            }
+            None => {
+                self.row_misses += 1;
+                self.cfg.t_rcd + self.cfg.t_cas
+            }
+        };
+        self.open_row[bank] = Some(row);
+        let bursts = len.div_ceil(64).max(1);
+        let done = start + setup + bursts * self.cfg.t_burst;
+        self.bank_free_at[bank] = done;
+        done
+    }
+
+    /// (row hits, row misses, row conflicts) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.row_hits, self.row_misses, self.row_conflicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramModel {
+        DramModel::new(DramConfig::default())
+    }
+
+    #[test]
+    fn sequential_same_row_hits() {
+        let mut m = model();
+        let t1 = m.access(Cycle::ZERO, 0, 64);
+        // Second access to the same row is a hit and cheaper.
+        let t2 = m.access(t1, 64, 64);
+        let first_cost = t1 - Cycle::ZERO;
+        let second_cost = t2 - t1;
+        assert!(second_cost < first_cost, "{second_cost} !< {first_cost}");
+        let (hits, misses, conflicts) = m.stats();
+        assert_eq!((hits, misses, conflicts), (1, 1, 0));
+    }
+
+    #[test]
+    fn row_conflict_costs_most() {
+        let mut m = model();
+        let cfg = *m.config();
+        // Two rows in the same bank: rows N and N + banks share a bank.
+        let stride = cfg.row_bytes * cfg.banks as u64;
+        let t1 = m.access(Cycle::ZERO, 0, 64);
+        let t2 = m.access(t1, stride, 64); // Same bank, different row.
+        let conflict_cost = t2 - t1;
+        assert_eq!(
+            conflict_cost,
+            cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.t_burst
+        );
+        let (_, _, conflicts) = m.stats();
+        assert_eq!(conflicts, 1);
+    }
+
+    #[test]
+    fn banks_operate_in_parallel() {
+        let mut m = model();
+        let cfg = *m.config();
+        // Accesses to different banks issued at the same cycle don't queue.
+        let t_a = m.access(Cycle::ZERO, 0, 64);
+        let t_b = m.access(Cycle::ZERO, cfg.row_bytes, 64); // Next bank.
+        assert_eq!(t_a, t_b);
+    }
+
+    #[test]
+    fn same_bank_serialises() {
+        let mut m = model();
+        let cfg = *m.config();
+        let stride = cfg.row_bytes * cfg.banks as u64;
+        let t_a = m.access(Cycle::ZERO, 0, 64);
+        // Issued at cycle 0 but the bank is busy until t_a.
+        let t_b = m.access(Cycle::ZERO, stride, 64);
+        assert!(t_b > t_a);
+    }
+
+    #[test]
+    fn long_transfers_charge_bursts() {
+        let mut m = model();
+        let t_small = m.access(Cycle::ZERO, 0, 64);
+        let mut m2 = model();
+        let t_big = m2.access(Cycle::ZERO, 0, 4096);
+        assert_eq!(t_big - Cycle::ZERO, (t_small - Cycle::ZERO) + 63);
+    }
+
+    #[test]
+    fn zero_len_counts_one_burst() {
+        let mut m = model();
+        let t = m.access(Cycle::ZERO, 0, 0);
+        assert!(t > Cycle::ZERO);
+    }
+}

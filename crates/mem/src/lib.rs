@@ -1,0 +1,30 @@
+//! Memory isolation and allocation for Apiary (§4.6 of the paper).
+//!
+//! The paper argues that FPGA-side memory isolation should use **segments
+//! with capabilities** rather than CPU-style paging: segments allow
+//! arbitrary-sized allocations (reducing resource stranding) and need only a
+//! base/bounds comparator for enforcement, while paging buys a flat unified
+//! address space Apiary does not need. This crate implements both sides of
+//! that argument so the claim can be measured (experiment E7):
+//!
+//! - [`segment`]: free-list segment allocators (first-fit / best-fit) with
+//!   coalescing and fragmentation accounting,
+//! - [`buddy`]: a buddy allocator as a middle point (power-of-two segments),
+//! - [`paging`]: the baseline — a page-granular MMU with a TLB model and
+//!   page-walk latency, the design previous FPGA shells borrowed from CPUs,
+//! - [`protect`]: the segment bounds-check unit the monitor uses to enforce
+//!   memory capabilities (one comparator, single-cycle),
+//! - [`dram`]: a banked DRAM timing model so memory experiments see
+//!   realistic row-hit/row-miss behaviour.
+
+pub mod buddy;
+pub mod dram;
+pub mod paging;
+pub mod protect;
+pub mod segment;
+
+pub use buddy::BuddyAllocator;
+pub use dram::{DramConfig, DramModel};
+pub use paging::{PagedMmu, PagingError, TlbModel};
+pub use protect::{AccessKind, ProtectError, SegmentChecker};
+pub use segment::{AllocError, AllocPolicy, AllocStats, SegmentAllocator};

@@ -1,0 +1,247 @@
+//! The segment bounds-check unit: capability enforcement on the data path.
+//!
+//! This is the hardware the paper's §4.6 puts in the monitor: for every
+//! memory access message, check that the accessed byte range lies inside the
+//! segment named by the presented capability and that the capability carries
+//! the right for the access direction. In hardware this is a table read, two
+//! 64-bit comparators and an AND gate — a single cycle.
+
+use apiary_cap::{CapError, CapKind, CapRef, CapTable, MemRange, Rights};
+use core::fmt;
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read (needs [`Rights::READ`]).
+    Read,
+    /// A write (needs [`Rights::WRITE`]).
+    Write,
+}
+
+impl AccessKind {
+    /// The right this access direction requires.
+    pub fn required_right(self) -> Rights {
+        match self {
+            AccessKind::Read => Rights::READ,
+            AccessKind::Write => Rights::WRITE,
+        }
+    }
+}
+
+/// Why an access was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtectError {
+    /// The capability handle is dead or missing rights.
+    Cap(CapError),
+    /// The capability is not a memory capability.
+    NotMemory,
+    /// The access falls (partly) outside the segment.
+    OutOfBounds {
+        /// Accessed range.
+        addr: u64,
+        /// Accessed length.
+        len: u64,
+        /// The segment the capability covers.
+        segment: MemRange,
+    },
+}
+
+impl fmt::Display for ProtectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectError::Cap(e) => write!(f, "capability error: {e}"),
+            ProtectError::NotMemory => write!(f, "capability does not name memory"),
+            ProtectError::OutOfBounds { addr, len, segment } => write!(
+                f,
+                "access [{addr:#x}, {:#x}) outside segment {segment}",
+                addr + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtectError {}
+
+impl From<CapError> for ProtectError {
+    fn from(e: CapError) -> ProtectError {
+        ProtectError::Cap(e)
+    }
+}
+
+/// The bounds-check unit.
+///
+/// Stateless apart from its latency constant; it borrows the tile's
+/// [`CapTable`] per check, mirroring how the hardware unit reads the
+/// monitor's capability BRAM.
+#[derive(Debug, Clone)]
+pub struct SegmentChecker {
+    /// Cycles a check costs on the message path (1 in a realistic design;
+    /// configurable so E5 can sweep it).
+    pub check_cycles: u64,
+}
+
+impl Default for SegmentChecker {
+    fn default() -> Self {
+        SegmentChecker { check_cycles: 1 }
+    }
+}
+
+impl SegmentChecker {
+    /// Creates a checker with the given per-check latency.
+    pub fn new(check_cycles: u64) -> SegmentChecker {
+        SegmentChecker { check_cycles }
+    }
+
+    /// Checks an access of `len` bytes at segment-relative offset `offset`
+    /// through capability `cap`. Returns the *physical* byte address of the
+    /// access on success.
+    ///
+    /// Addresses presented by accelerators are segment-relative (offset
+    /// within the capability), so an accelerator cannot even name memory
+    /// outside its grants.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectError`] describing the denial.
+    pub fn check(
+        &self,
+        table: &CapTable,
+        cap: CapRef,
+        kind: AccessKind,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, ProtectError> {
+        let capability = table.check(cap, kind.required_right())?;
+        let segment = match capability.kind {
+            CapKind::Memory(range) => range,
+            _ => return Err(ProtectError::NotMemory),
+        };
+        let addr = segment
+            .base
+            .checked_add(offset)
+            .ok_or(ProtectError::OutOfBounds {
+                addr: u64::MAX,
+                len,
+                segment,
+            })?;
+        if len == 0 || !segment.covers_bytes(addr, len) {
+            return Err(ProtectError::OutOfBounds { addr, len, segment });
+        }
+        Ok(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiary_cap::Capability;
+
+    fn setup() -> (CapTable, CapRef, CapRef) {
+        let mut t = CapTable::new(8);
+        let rw = t
+            .insert_root(Capability::new(
+                CapKind::Memory(MemRange::new(0x1000, 0x100)),
+                Rights::READ | Rights::WRITE,
+            ))
+            .expect("space");
+        let ro = t
+            .insert_root(Capability::new(
+                CapKind::Memory(MemRange::new(0x2000, 0x80)),
+                Rights::READ,
+            ))
+            .expect("space");
+        (t, rw, ro)
+    }
+
+    #[test]
+    fn in_bounds_access_translates() {
+        let (t, rw, _) = setup();
+        let chk = SegmentChecker::default();
+        let pa = chk
+            .check(&t, rw, AccessKind::Write, 0x10, 8)
+            .expect("in bounds");
+        assert_eq!(pa, 0x1010);
+    }
+
+    #[test]
+    fn out_of_bounds_denied() {
+        let (t, rw, _) = setup();
+        let chk = SegmentChecker::default();
+        // Straddles the end of the 0x100-byte segment.
+        let err = chk
+            .check(&t, rw, AccessKind::Read, 0xf8, 16)
+            .expect_err("straddles");
+        assert!(matches!(err, ProtectError::OutOfBounds { .. }));
+        // Wildly out.
+        assert!(chk.check(&t, rw, AccessKind::Read, 0x1_0000, 1).is_err());
+    }
+
+    #[test]
+    fn write_through_readonly_denied() {
+        let (t, _, ro) = setup();
+        let chk = SegmentChecker::default();
+        assert!(chk.check(&t, ro, AccessKind::Read, 0, 8).is_ok());
+        let err = chk
+            .check(&t, ro, AccessKind::Write, 0, 8)
+            .expect_err("read-only");
+        assert!(matches!(
+            err,
+            ProtectError::Cap(CapError::InsufficientRights { .. })
+        ));
+    }
+
+    #[test]
+    fn non_memory_cap_denied() {
+        let mut t = CapTable::new(4);
+        let ep = t
+            .insert_root(Capability::new(
+                CapKind::Endpoint(apiary_cap::EndpointId(1)),
+                Rights::READ | Rights::SEND,
+            ))
+            .expect("space");
+        let chk = SegmentChecker::default();
+        assert_eq!(
+            chk.check(&t, ep, AccessKind::Read, 0, 1)
+                .expect_err("not memory"),
+            ProtectError::NotMemory
+        );
+    }
+
+    #[test]
+    fn zero_length_access_denied() {
+        let (t, rw, _) = setup();
+        let chk = SegmentChecker::default();
+        assert!(chk.check(&t, rw, AccessKind::Read, 0, 0).is_err());
+    }
+
+    #[test]
+    fn offset_overflow_denied() {
+        let (t, rw, _) = setup();
+        let chk = SegmentChecker::default();
+        assert!(chk
+            .check(&t, rw, AccessKind::Read, u64::MAX - 2, 8)
+            .is_err());
+    }
+
+    #[test]
+    fn revoked_cap_denied() {
+        let (mut t, rw, _) = setup();
+        let chk = SegmentChecker::default();
+        t.revoke(rw).expect("live");
+        assert!(matches!(
+            chk.check(&t, rw, AccessKind::Read, 0, 8),
+            Err(ProtectError::Cap(_))
+        ));
+    }
+
+    #[test]
+    fn whole_segment_access_allowed() {
+        let (t, rw, _) = setup();
+        let chk = SegmentChecker::default();
+        assert_eq!(
+            chk.check(&t, rw, AccessKind::Read, 0, 0x100)
+                .expect("exact fit"),
+            0x1000
+        );
+    }
+}

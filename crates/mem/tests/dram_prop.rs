@@ -1,0 +1,80 @@
+//! Property-based tests for the DRAM timing model.
+
+use apiary_mem::{DramConfig, DramModel};
+use apiary_sim::Cycle;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Completions never precede issue, and accesses to the *same bank*
+    /// complete in issue order (the bank serialises).
+    #[test]
+    fn per_bank_completions_are_ordered(
+        accesses in prop::collection::vec((0u64..4, 0u64..(1 << 22), 1u64..2_048), 1..100),
+    ) {
+        let cfg = DramConfig::default();
+        let mut m = DramModel::new(cfg);
+        let mut now = Cycle::ZERO;
+        let bank_of = |addr: u64| (addr / cfg.row_bytes) % cfg.banks as u64;
+        let mut last_done: std::collections::HashMap<u64, Cycle> =
+            std::collections::HashMap::new();
+        for (gap, addr, len) in accesses {
+            now += gap;
+            let done = m.access(now, addr, len);
+            prop_assert!(done > now, "completion {done} not after issue {now}");
+            let b = bank_of(addr);
+            if let Some(prev) = last_done.get(&b) {
+                prop_assert!(done > *prev, "bank {b} reordered: {done} <= {prev}");
+            }
+            last_done.insert(b, done);
+        }
+    }
+
+    /// The stats triple partitions all accesses.
+    #[test]
+    fn stats_partition_accesses(
+        accesses in prop::collection::vec((0u64..(1 << 20), 1u64..512), 1..200),
+    ) {
+        let mut m = DramModel::new(DramConfig::default());
+        let mut now = Cycle::ZERO;
+        for (addr, len) in &accesses {
+            now = m.access(now, *addr, *len);
+        }
+        let (h, mi, c) = m.stats();
+        prop_assert_eq!(h + mi + c, accesses.len() as u64);
+    }
+
+    /// Row-buffer locality can only help: a sorted (sequential) traversal
+    /// of the same accesses never finishes later than a reversed-stride
+    /// traversal of identical requests.
+    #[test]
+    fn locality_is_never_penalised(
+        mut addrs in prop::collection::vec(0u64..(1 << 20), 2..100),
+    ) {
+        addrs.sort_unstable();
+        let mut seq = DramModel::new(DramConfig::default());
+        let mut t_seq = Cycle::ZERO;
+        for &a in &addrs {
+            t_seq = seq.access(t_seq, a, 64);
+        }
+        // Same multiset, maximally row-hostile order (alternate ends).
+        let mut hostile_order = Vec::with_capacity(addrs.len());
+        let (mut lo, mut hi) = (0usize, addrs.len() - 1);
+        while lo <= hi {
+            hostile_order.push(addrs[lo]);
+            if lo != hi {
+                hostile_order.push(addrs[hi]);
+            }
+            lo += 1;
+            if hi == 0 { break; }
+            hi -= 1;
+        }
+        let mut hostile = DramModel::new(DramConfig::default());
+        let mut t_hostile = Cycle::ZERO;
+        for &a in &hostile_order {
+            t_hostile = hostile.access(t_hostile, a, 64);
+        }
+        prop_assert!(t_seq <= t_hostile, "sequential {t_seq} > hostile {t_hostile}");
+    }
+}

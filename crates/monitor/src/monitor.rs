@@ -1,0 +1,834 @@
+//! The per-tile monitor: interposition on every message.
+
+use crate::rate::TokenBucket;
+use crate::wire;
+use apiary_cap::{CapError, CapKind, CapRef, CapTable, Capability, Rights};
+use apiary_mem::{AccessKind, ProtectError, SegmentChecker};
+use apiary_noc::{Delivered, Message, Noc, NodeId, TrafficClass};
+use apiary_sim::Cycle;
+use apiary_trace::{EventKind, Tracer};
+use core::fmt;
+use std::collections::{HashMap, VecDeque};
+
+/// Monitor sizing and policy.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Capability-table slots.
+    pub cap_slots: usize,
+    /// Outbound queue depth, in messages.
+    pub outbox_depth: usize,
+    /// Inbound queue depth, in messages.
+    pub inbox_depth: usize,
+    /// Pipeline cycles charged per outbound message for the capability
+    /// check and header stamping (1 in a realistic design).
+    pub check_cycles: u64,
+    /// Egress rate limit as (milli-bytes per cycle, burst bytes), or `None`
+    /// for unlimited.
+    pub rate: Option<(u64, u64)>,
+    /// Largest accepted payload, in bytes.
+    pub max_payload: usize,
+    /// Trace ring size (0 = counters only).
+    pub trace_depth: usize,
+    /// Watchdog: if the oldest delivered message sits unconsumed in the
+    /// inbox for this many cycles, the monitor reports the accelerator as
+    /// hung (§4.4's "the process may never yield"). `None` disables it.
+    pub watchdog_cycles: Option<u64>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            cap_slots: 32,
+            outbox_depth: 16,
+            inbox_depth: 64,
+            check_cycles: 1,
+            rate: None,
+            max_payload: 4096,
+            trace_depth: 0,
+            watchdog_cycles: None,
+        }
+    }
+}
+
+/// The tile's lifecycle state as the monitor sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TileState {
+    /// Normal operation.
+    #[default]
+    Running,
+    /// Fail-stopped (§4.4): the accelerator faulted; traffic is sealed off
+    /// and correspondents receive error replies.
+    FailStopped,
+}
+
+/// Why the monitor refused to send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// Capability missing, stale, or lacking rights.
+    Cap(CapError),
+    /// Memory access outside the segment or wrong direction.
+    Protect(ProtectError),
+    /// The egress token bucket is empty.
+    RateLimited,
+    /// The outbound queue is full (NoC backpressure reached the tile).
+    Backpressure,
+    /// The tile is fail-stopped; nothing may leave.
+    FailStopped,
+    /// A service capability names a service with no registered node.
+    UnknownService,
+    /// Payload exceeds the configured maximum.
+    PayloadTooLarge,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::Cap(e) => write!(f, "capability: {e}"),
+            SendError::Protect(e) => write!(f, "memory protection: {e}"),
+            SendError::RateLimited => write!(f, "rate limited"),
+            SendError::Backpressure => write!(f, "outbound queue full"),
+            SendError::FailStopped => write!(f, "tile fail-stopped"),
+            SendError::UnknownService => write!(f, "unknown service"),
+            SendError::PayloadTooLarge => write!(f, "payload too large"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl From<CapError> for SendError {
+    fn from(e: CapError) -> SendError {
+        SendError::Cap(e)
+    }
+}
+
+impl From<ProtectError> for SendError {
+    fn from(e: ProtectError) -> SendError {
+        SendError::Protect(e)
+    }
+}
+
+/// Monitor activity counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonitorStats {
+    /// Messages accepted from the accelerator and queued out.
+    pub sent: u64,
+    /// Messages delivered into the tile's inbox.
+    pub received: u64,
+    /// Outbound messages denied on capability grounds.
+    pub denied: u64,
+    /// Outbound messages denied by the rate limiter.
+    pub rate_limited: u64,
+    /// Outbound attempts refused because the outbox was full.
+    pub backpressured: u64,
+    /// Error replies minted on behalf of a failed/overloaded tile.
+    pub nacks_sent: u64,
+    /// Inbound messages dropped (inbox overflow on error replies).
+    pub dropped: u64,
+}
+
+/// The trusted per-tile monitor.
+///
+/// One instance fronts every tile. The kernel configures it (capabilities,
+/// service names, policy); the accelerator can only call the message-path
+/// methods ([`Monitor::send`], [`Monitor::send_mem`], [`Monitor::recv`]).
+pub struct Monitor {
+    node: NodeId,
+    cfg: MonitorConfig,
+    caps: CapTable,
+    names: HashMap<u32, NodeId>,
+    bucket: TokenBucket,
+    checker: SegmentChecker,
+    state: TileState,
+    outbox: VecDeque<(Cycle, Message)>,
+    inbox: VecDeque<Delivered>,
+    stats: MonitorStats,
+    tracer: Tracer,
+}
+
+impl Monitor {
+    /// Creates a monitor for the tile at `node`.
+    pub fn new(node: NodeId, cfg: MonitorConfig) -> Monitor {
+        Monitor {
+            node,
+            caps: CapTable::new(cfg.cap_slots),
+            names: HashMap::new(),
+            bucket: match cfg.rate {
+                Some((rate, burst)) => TokenBucket::new(rate, burst),
+                None => TokenBucket::unlimited(),
+            },
+            checker: SegmentChecker::new(1),
+            state: TileState::Running,
+            outbox: VecDeque::new(),
+            inbox: VecDeque::new(),
+            stats: MonitorStats::default(),
+            tracer: Tracer::new(cfg.trace_depth),
+            cfg,
+        }
+    }
+
+    /// This tile's NoC node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TileState {
+        self.state
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// The per-tile trace (ring + counters).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable trace access (for enabling/clearing).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel-facing (trusted) operations.
+    // ------------------------------------------------------------------
+
+    /// Installs a root capability (kernel authority).
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::TableFull`] when the table is exhausted.
+    pub fn install_cap(&mut self, cap: Capability) -> Result<CapRef, CapError> {
+        self.caps.insert_root(cap)
+    }
+
+    /// Direct access to the capability table (kernel and tests).
+    pub fn caps(&self) -> &CapTable {
+        &self.caps
+    }
+
+    /// Derives a narrowed capability on behalf of the tile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CapError`] from the table.
+    pub fn derive_cap(
+        &mut self,
+        parent: CapRef,
+        rights: Rights,
+        narrow: Option<CapKind>,
+    ) -> Result<CapRef, CapError> {
+        self.caps.derive(parent, rights, narrow)
+    }
+
+    /// Revokes a capability subtree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CapError`] from the table.
+    pub fn revoke_cap(&mut self, r: CapRef) -> Result<(), CapError> {
+        self.caps.revoke(r)
+    }
+
+    /// Binds a logical service id to a physical node in this tile's name
+    /// table (§4.3).
+    pub fn bind_service(&mut self, service: u32, node: NodeId) {
+        self.names.insert(service, node);
+    }
+
+    /// Finds a live SEND-bearing endpoint capability for `node`, if the
+    /// kernel granted one. This is how replies stay inside the capability
+    /// discipline: a service can only answer clients it was explicitly
+    /// connected to (§4.2 — IPC must be established).
+    pub fn find_endpoint_cap(&self, node: NodeId) -> Option<CapRef> {
+        self.caps.iter_live().find_map(|(r, c)| match c.kind {
+            CapKind::Endpoint(e) if e.0 as u16 == node.0 && c.rights.contains(Rights::SEND) => {
+                Some(r)
+            }
+            _ => None,
+        })
+    }
+
+    /// Fail-stops the tile: drains all queued traffic and seals it (§4.4).
+    /// In-flight NoC traffic addressed here will be answered with errors as
+    /// it arrives.
+    pub fn fail_stop(&mut self, now: Cycle) {
+        self.state = TileState::FailStopped;
+        self.outbox.clear();
+        self.inbox.clear();
+        self.tracer.record(now, self.node.0, EventKind::FailStop);
+    }
+
+    /// Resets the tile after reconfiguration: clears queues, capabilities,
+    /// names, and returns to [`TileState::Running`].
+    pub fn reset(&mut self, now: Cycle) {
+        self.state = TileState::Running;
+        self.outbox.clear();
+        self.inbox.clear();
+        self.caps = CapTable::new(self.cfg.cap_slots);
+        self.names.clear();
+        self.tracer.record(now, self.node.0, EventKind::Reconfig);
+    }
+
+    // ------------------------------------------------------------------
+    // Accelerator-facing (untrusted) operations.
+    // ------------------------------------------------------------------
+
+    /// Resolves the destination node a capability names.
+    fn resolve_dst(&self, cap: &Capability) -> Result<NodeId, SendError> {
+        match cap.kind {
+            CapKind::Endpoint(e) => Ok(NodeId(e.0 as u16)),
+            CapKind::Service(s) => self
+                .names
+                .get(&s.0)
+                .copied()
+                .ok_or(SendError::UnknownService),
+            _ => Err(SendError::Cap(CapError::InsufficientRights {
+                needed: Rights::SEND,
+            })),
+        }
+    }
+
+    /// Sends a message through `cap`.
+    ///
+    /// The monitor checks the capability, meters the bytes, stamps the true
+    /// source and the capability badge, and queues the message for
+    /// injection. The `kind`/`tag` words are application-level.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] describing the refusal; refusals have no side effects
+    /// beyond counters and trace events.
+    pub fn send(
+        &mut self,
+        cap: CapRef,
+        kind: u16,
+        tag: u64,
+        class: TrafficClass,
+        payload: Vec<u8>,
+        now: Cycle,
+    ) -> Result<(), SendError> {
+        if self.state == TileState::FailStopped {
+            return Err(SendError::FailStopped);
+        }
+        if payload.len() > self.cfg.max_payload {
+            return Err(SendError::PayloadTooLarge);
+        }
+        let capability = match self.caps.check(cap, Rights::SEND) {
+            Ok(c) => *c,
+            Err(e) => {
+                self.stats.denied += 1;
+                self.tracer
+                    .record(now, self.node.0, EventKind::SendDenied { dst: u16::MAX });
+                return Err(e.into());
+            }
+        };
+        let dst = match self.resolve_dst(&capability) {
+            Ok(d) => d,
+            Err(e) => {
+                self.stats.denied += 1;
+                self.tracer
+                    .record(now, self.node.0, EventKind::SendDenied { dst: u16::MAX });
+                return Err(e);
+            }
+        };
+        if self.outbox.len() >= self.cfg.outbox_depth {
+            self.stats.backpressured += 1;
+            return Err(SendError::Backpressure);
+        }
+        let bytes = payload.len() as u64 + 16;
+        if !self.bucket.try_consume(bytes, now) {
+            self.stats.rate_limited += 1;
+            self.tracer
+                .record(now, self.node.0, EventKind::RateLimited { dst: dst.0 });
+            return Err(SendError::RateLimited);
+        }
+        let mut msg = Message::new(self.node, dst, class, payload);
+        msg.kind = kind;
+        msg.tag = tag;
+        msg.badge = capability.badge;
+        self.tracer.record(
+            now,
+            self.node.0,
+            EventKind::MsgSend {
+                dst: dst.0,
+                kind,
+                tag,
+                bytes: msg.payload.len() as u32,
+            },
+        );
+        self.stats.sent += 1;
+        self.outbox.push_back((now + self.cfg.check_cycles, msg));
+        Ok(())
+    }
+
+    /// Sends a memory access: bounds-checks `(offset, len)` against the
+    /// segment capability `mem_cap`, translates to a physical address, and
+    /// sends the request to the memory service through `service_cap`.
+    ///
+    /// Write data rides in `data`; reads pass an empty slice. The request
+    /// payload encodes `[phys_addr: u64][len: u64][data...]` — the memory
+    /// tile trusts these fields because only monitors can mint them.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`], including [`SendError::Protect`] for bounds/rights
+    /// failures (the deny happens *before* anything enters the network).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_mem(
+        &mut self,
+        mem_cap: CapRef,
+        service_cap: CapRef,
+        access: AccessKind,
+        offset: u64,
+        len: u64,
+        data: &[u8],
+        tag: u64,
+        now: Cycle,
+    ) -> Result<(), SendError> {
+        if self.state == TileState::FailStopped {
+            return Err(SendError::FailStopped);
+        }
+        let phys = match self.checker.check(&self.caps, mem_cap, access, offset, len) {
+            Ok(p) => p,
+            Err(e) => {
+                self.stats.denied += 1;
+                self.tracer
+                    .record(now, self.node.0, EventKind::SendDenied { dst: u16::MAX });
+                return Err(e.into());
+            }
+        };
+        let kind = match access {
+            AccessKind::Read => wire::KIND_MEM_READ,
+            AccessKind::Write => wire::KIND_MEM_WRITE,
+        };
+        let payload = wire_mem::encode(phys, len, data);
+        let class = if data.len() > 256 {
+            TrafficClass::Bulk
+        } else {
+            TrafficClass::Request
+        };
+        self.send(service_cap, kind, tag, class, payload, now)
+    }
+
+    /// Takes the next delivered message, if any.
+    pub fn recv(&mut self) -> Option<Delivered> {
+        self.inbox.pop_front()
+    }
+
+    /// Messages waiting in the inbox.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Messages waiting to enter the NoC.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Returns `true` if the watchdog is armed and the accelerator has
+    /// left its oldest delivery unconsumed beyond the configured window.
+    /// The kernel polls this and applies the tile's fault policy.
+    pub fn hang_detected(&self, now: Cycle) -> bool {
+        let Some(window) = self.cfg.watchdog_cycles else {
+            return false;
+        };
+        if self.state != TileState::Running {
+            return false;
+        }
+        self.inbox
+            .front()
+            .is_some_and(|d| now - d.delivered_at > window)
+    }
+
+    // ------------------------------------------------------------------
+    // Data-path pumping, driven by the kernel once per cycle.
+    // ------------------------------------------------------------------
+
+    /// Moves ready outbound messages into the NoC (stops on backpressure).
+    pub fn pump_out(&mut self, noc: &mut Noc, now: Cycle) {
+        while let Some((ready, _)) = self.outbox.front() {
+            if *ready > now {
+                break;
+            }
+            let (_, msg) = self.outbox.front().expect("peeked").clone();
+            match noc.try_inject(self.node, msg) {
+                Ok(_) => {
+                    self.outbox.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Accepts deliveries from the NoC into the inbox; fail-stopped tiles
+    /// answer with error replies instead (§4.4).
+    pub fn pump_in(&mut self, noc: &mut Noc, now: Cycle) {
+        while let Some(d) = noc.poll_eject(self.node) {
+            self.accept(d, now);
+        }
+    }
+
+    fn accept(&mut self, d: Delivered, now: Cycle) {
+        match self.state {
+            TileState::FailStopped => {
+                self.nack(&d.msg, wire::err::TARGET_FAILED, now);
+            }
+            TileState::Running => {
+                if self.inbox.len() >= self.cfg.inbox_depth {
+                    self.nack(&d.msg, wire::err::OVERLOAD, now);
+                    return;
+                }
+                self.tracer.record(
+                    now,
+                    self.node.0,
+                    EventKind::MsgRecv {
+                        src: d.msg.src.0,
+                        kind: d.msg.kind,
+                        tag: d.msg.tag,
+                        bytes: d.msg.payload.len() as u32,
+                    },
+                );
+                self.stats.received += 1;
+                self.inbox.push_back(d);
+            }
+        }
+    }
+
+    /// Mints an error reply with monitor authority (no capability needed —
+    /// the monitor is trusted). Never replies to an error, so two failed
+    /// tiles cannot ping-pong.
+    fn nack(&mut self, original: &Message, code: u8, now: Cycle) {
+        if original.kind == wire::KIND_ERROR {
+            self.stats.dropped += 1;
+            return;
+        }
+        let mut reply = Message::new(self.node, original.src, TrafficClass::Control, vec![code]);
+        reply.kind = wire::KIND_ERROR;
+        reply.tag = original.tag;
+        self.stats.nacks_sent += 1;
+        self.outbox.push_back((now, reply));
+    }
+}
+
+/// Encoding of memory request payloads.
+pub mod wire_mem {
+    /// Encodes `[addr][len][data...]`.
+    pub fn encode(addr: u64, len: u64, data: &[u8]) -> Vec<u8> {
+        let mut p = Vec::with_capacity(16 + data.len());
+        p.extend_from_slice(&addr.to_le_bytes());
+        p.extend_from_slice(&len.to_le_bytes());
+        p.extend_from_slice(data);
+        p
+    }
+
+    /// Decodes a memory request payload; `None` if malformed.
+    pub fn decode(payload: &[u8]) -> Option<(u64, u64, &[u8])> {
+        if payload.len() < 16 {
+            return None;
+        }
+        let addr = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+        let len = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+        Some((addr, len, &payload[16..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiary_cap::{EndpointId, MemRange, ServiceId};
+    use apiary_noc::NocConfig;
+
+    fn monitor(node: u16) -> Monitor {
+        Monitor::new(NodeId(node), MonitorConfig::default())
+    }
+
+    fn ep_cap(m: &mut Monitor, dst: u16, rights: Rights) -> CapRef {
+        m.install_cap(Capability::new(
+            CapKind::Endpoint(EndpointId(dst as u32)),
+            rights,
+        ))
+        .expect("space")
+    }
+
+    #[test]
+    fn send_requires_capability() {
+        let mut m = monitor(0);
+        let bogus = CapRef {
+            index: 3,
+            generation: 0,
+        };
+        let err = m
+            .send(bogus, 1, 0, TrafficClass::Request, vec![], Cycle(1))
+            .expect_err("no cap installed");
+        assert!(matches!(err, SendError::Cap(_)));
+        assert_eq!(m.stats().denied, 1);
+    }
+
+    #[test]
+    fn send_happy_path_stamps_src_and_badge() {
+        let mut noc = Noc::new(NocConfig::soft(2, 2));
+        let mut m = monitor(0);
+        let cap = m
+            .install_cap(Capability::badged(
+                CapKind::Endpoint(EndpointId(3)),
+                Rights::SEND,
+                0xBEE5,
+            ))
+            .expect("space");
+        m.send(cap, 7, 42, TrafficClass::Request, vec![1, 2], Cycle(0))
+            .expect("allowed");
+        // Pump out after the check pipeline cycle.
+        m.pump_out(&mut noc, Cycle(1));
+        assert!(noc.run_until_quiescent(1_000));
+        let d = noc.poll_eject(NodeId(3)).expect("delivered");
+        assert_eq!(d.msg.src, NodeId(0), "monitor stamps the true source");
+        assert_eq!(d.msg.badge, 0xBEE5);
+        assert_eq!(d.msg.kind, 7);
+        assert_eq!(d.msg.tag, 42);
+    }
+
+    #[test]
+    fn recv_only_cap_cannot_send() {
+        let mut m = monitor(0);
+        let cap = ep_cap(&mut m, 1, Rights::RECV);
+        let err = m
+            .send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(0))
+            .expect_err("SEND missing");
+        assert!(matches!(
+            err,
+            SendError::Cap(CapError::InsufficientRights { .. })
+        ));
+    }
+
+    #[test]
+    fn service_caps_resolve_through_name_table() {
+        let mut m = monitor(0);
+        let cap = m
+            .install_cap(Capability::new(
+                CapKind::Service(ServiceId(9)),
+                Rights::SEND,
+            ))
+            .expect("space");
+        // Unbound: unknown service.
+        assert_eq!(
+            m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(0)),
+            Err(SendError::UnknownService)
+        );
+        // Bind and retry.
+        m.bind_service(9, NodeId(2));
+        m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(0))
+            .expect("resolves now");
+    }
+
+    #[test]
+    fn rate_limit_denies_and_counts() {
+        let cfg = MonitorConfig {
+            rate: Some((0, 100)), // 100-byte bucket, no refill.
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::new(NodeId(0), cfg);
+        let cap = ep_cap(&mut m, 1, Rights::SEND);
+        // 64 + 16 header = 80 bytes: fits once.
+        m.send(cap, 1, 0, TrafficClass::Bulk, vec![0; 64], Cycle(0))
+            .expect("burst");
+        let err = m
+            .send(cap, 1, 1, TrafficClass::Bulk, vec![0; 64], Cycle(0))
+            .expect_err("bucket empty");
+        assert_eq!(err, SendError::RateLimited);
+        assert_eq!(m.stats().rate_limited, 1);
+    }
+
+    #[test]
+    fn outbox_backpressure() {
+        let cfg = MonitorConfig {
+            outbox_depth: 2,
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::new(NodeId(0), cfg);
+        let cap = ep_cap(&mut m, 1, Rights::SEND);
+        m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(0))
+            .expect("slot 1");
+        m.send(cap, 1, 1, TrafficClass::Request, vec![], Cycle(0))
+            .expect("slot 2");
+        assert_eq!(
+            m.send(cap, 1, 2, TrafficClass::Request, vec![], Cycle(0)),
+            Err(SendError::Backpressure)
+        );
+    }
+
+    #[test]
+    fn payload_cap_enforced() {
+        let mut m = monitor(0);
+        let cap = ep_cap(&mut m, 1, Rights::SEND);
+        assert_eq!(
+            m.send(cap, 1, 0, TrafficClass::Bulk, vec![0; 5000], Cycle(0)),
+            Err(SendError::PayloadTooLarge)
+        );
+    }
+
+    #[test]
+    fn fail_stop_seals_the_tile() {
+        let mut noc = Noc::new(NocConfig::soft(2, 2));
+        let mut m0 = monitor(0);
+        let mut m1 = monitor(1);
+        let cap = ep_cap(&mut m0, 1, Rights::SEND);
+
+        m1.fail_stop(Cycle(0));
+        assert_eq!(m1.state(), TileState::FailStopped);
+
+        // Tile 0 sends to the dead tile 1.
+        m0.send(
+            cap,
+            wire::KIND_REQUEST,
+            5,
+            TrafficClass::Request,
+            vec![9],
+            Cycle(0),
+        )
+        .expect("cap is fine");
+        m0.pump_out(&mut noc, Cycle(1));
+        assert!(noc.run_until_quiescent(1_000));
+        let now = noc.now();
+        m1.pump_in(&mut noc, now);
+        // The dead tile minted a NACK instead of consuming.
+        assert_eq!(m1.inbox_len(), 0);
+        assert_eq!(m1.stats().nacks_sent, 1);
+        m1.pump_out(&mut noc, now);
+        assert!(noc.run_until_quiescent(1_000));
+        let now = noc.now();
+        m0.pump_in(&mut noc, now);
+        let d = m0.recv().expect("error reply");
+        assert_eq!(d.msg.kind, wire::KIND_ERROR);
+        assert_eq!(d.msg.payload[0], wire::err::TARGET_FAILED);
+        assert_eq!(d.msg.tag, 5, "error reply correlates to the request");
+
+        // And the dead tile cannot send.
+        assert_eq!(
+            m1.send(cap, 1, 0, TrafficClass::Request, vec![], now),
+            Err(SendError::FailStopped)
+        );
+    }
+
+    #[test]
+    fn errors_are_not_nacked() {
+        let mut m = monitor(1);
+        m.fail_stop(Cycle(0));
+        let mut err_msg = Message::new(NodeId(0), NodeId(1), TrafficClass::Control, vec![1]);
+        err_msg.kind = wire::KIND_ERROR;
+        m.accept(
+            Delivered {
+                msg: err_msg,
+                injected_at: Cycle(0),
+                delivered_at: Cycle(1),
+            },
+            Cycle(1),
+        );
+        assert_eq!(m.stats().nacks_sent, 0);
+        assert_eq!(m.stats().dropped, 1);
+    }
+
+    #[test]
+    fn inbox_overflow_nacks() {
+        let cfg = MonitorConfig {
+            inbox_depth: 1,
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::new(NodeId(1), cfg);
+        for i in 0..2 {
+            let mut msg = Message::new(NodeId(0), NodeId(1), TrafficClass::Request, vec![]);
+            msg.kind = wire::KIND_REQUEST;
+            msg.tag = i;
+            m.accept(
+                Delivered {
+                    msg,
+                    injected_at: Cycle(0),
+                    delivered_at: Cycle(1),
+                },
+                Cycle(1),
+            );
+        }
+        assert_eq!(m.inbox_len(), 1);
+        assert_eq!(m.stats().nacks_sent, 1);
+    }
+
+    #[test]
+    fn mem_send_checks_bounds_before_network() {
+        let mut m = monitor(0);
+        let seg = m
+            .install_cap(Capability::new(
+                CapKind::Memory(MemRange::new(0x4000, 0x100)),
+                Rights::READ | Rights::WRITE,
+            ))
+            .expect("space");
+        let svc = ep_cap(&mut m, 3, Rights::SEND);
+        // In-bounds write.
+        m.send_mem(
+            seg,
+            svc,
+            AccessKind::Write,
+            0x10,
+            4,
+            &[1, 2, 3, 4],
+            1,
+            Cycle(0),
+        )
+        .expect("in bounds");
+        // Out-of-bounds read denied locally.
+        let err = m
+            .send_mem(seg, svc, AccessKind::Read, 0xfff, 8, &[], 2, Cycle(0))
+            .expect_err("out of bounds");
+        assert!(matches!(err, SendError::Protect(_)));
+        assert_eq!(m.stats().sent, 1, "denied access never queued");
+    }
+
+    #[test]
+    fn mem_payload_encodes_physical_address() {
+        let mut m = monitor(0);
+        let seg = m
+            .install_cap(Capability::new(
+                CapKind::Memory(MemRange::new(0x4000, 0x100)),
+                Rights::READ,
+            ))
+            .expect("space");
+        let svc = ep_cap(&mut m, 3, Rights::SEND);
+        m.send_mem(seg, svc, AccessKind::Read, 0x20, 8, &[], 1, Cycle(0))
+            .expect("in bounds");
+        let (_, msg) = m.outbox.front().expect("queued").clone();
+        let (addr, len, data) = wire_mem::decode(&msg.payload).expect("well formed");
+        assert_eq!(addr, 0x4020);
+        assert_eq!(len, 8);
+        assert!(data.is_empty());
+        assert_eq!(msg.kind, wire::KIND_MEM_READ);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = monitor(0);
+        let cap = ep_cap(&mut m, 1, Rights::SEND);
+        m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(0))
+            .expect("queued");
+        m.fail_stop(Cycle(1));
+        m.reset(Cycle(2));
+        assert_eq!(m.state(), TileState::Running);
+        assert_eq!(m.caps().live(), 0, "reconfig revokes all authority");
+        // Old cap refs are dead.
+        assert!(matches!(
+            m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(3)),
+            Err(SendError::Cap(_))
+        ));
+    }
+
+    #[test]
+    fn wire_mem_roundtrip() {
+        let p = wire_mem::encode(0xdead_beef, 32, &[7; 5]);
+        let (a, l, d) = wire_mem::decode(&p).expect("well formed");
+        assert_eq!(a, 0xdead_beef);
+        assert_eq!(l, 32);
+        assert_eq!(d, &[7; 5]);
+        assert_eq!(wire_mem::decode(&[0; 15]), None);
+    }
+}

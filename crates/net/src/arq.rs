@@ -1,0 +1,272 @@
+//! A go-back-N reliable transport.
+//!
+//! §2 of the paper lists "reliable network protocols" among the services
+//! FPGA developers are forced to rebuild per project. Apiary provides one:
+//! a compact go-back-N ARQ suitable for hardware (fixed window, cumulative
+//! acks, a single retransmission timer — no per-packet state beyond the
+//! ring of unacknowledged payloads).
+
+use apiary_sim::Cycle;
+use std::collections::VecDeque;
+
+/// A data packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sequence number.
+    pub seq: u64,
+    /// Payload.
+    pub payload: Vec<u8>,
+}
+
+/// A cumulative acknowledgement: "I have everything below `next`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// Next expected sequence number.
+    pub next: u64,
+}
+
+/// Go-back-N sender state machine.
+#[derive(Debug, Clone)]
+pub struct GoBackNSender {
+    window: usize,
+    timeout: u64,
+    base: u64,
+    next_seq: u64,
+    unacked: VecDeque<Vec<u8>>,
+    /// Deadline for the oldest unacked packet.
+    timer: Option<Cycle>,
+    /// Packets to (re)transmit.
+    outbox: VecDeque<Packet>,
+    /// Retransmitted packets (for stats).
+    pub retransmissions: u64,
+}
+
+impl GoBackNSender {
+    /// Creates a sender with the given window (packets) and retransmission
+    /// timeout (cycles).
+    pub fn new(window: usize, timeout: u64) -> GoBackNSender {
+        GoBackNSender {
+            window: window.max(1),
+            timeout,
+            base: 0,
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            timer: None,
+            outbox: VecDeque::new(),
+            retransmissions: 0,
+        }
+    }
+
+    /// Offers a payload; returns `false` (not accepted) when the window is
+    /// full.
+    pub fn offer(&mut self, payload: Vec<u8>, now: Cycle) -> bool {
+        if self.unacked.len() >= self.window {
+            return false;
+        }
+        self.outbox.push_back(Packet {
+            seq: self.next_seq,
+            payload: payload.clone(),
+        });
+        self.unacked.push_back(payload);
+        self.next_seq += 1;
+        if self.timer.is_none() {
+            self.timer = Some(now + self.timeout);
+        }
+        true
+    }
+
+    /// Processes a cumulative ack.
+    pub fn on_ack(&mut self, ack: Ack, now: Cycle) {
+        while self.base < ack.next.min(self.next_seq) {
+            self.unacked.pop_front();
+            self.base += 1;
+        }
+        self.timer = if self.unacked.is_empty() {
+            None
+        } else {
+            Some(now + self.timeout)
+        };
+    }
+
+    /// Advances time: on timeout, requeues the entire window (go-back-N).
+    /// Returns packets to put on the wire (new and retransmitted).
+    pub fn poll(&mut self, now: Cycle) -> Vec<Packet> {
+        if let Some(deadline) = self.timer {
+            if now >= deadline {
+                // Retransmit everything outstanding.
+                self.outbox.clear();
+                for (i, payload) in self.unacked.iter().enumerate() {
+                    self.outbox.push_back(Packet {
+                        seq: self.base + i as u64,
+                        payload: payload.clone(),
+                    });
+                    self.retransmissions += 1;
+                }
+                self.timer = Some(now + self.timeout);
+            }
+        }
+        self.outbox.drain(..).collect()
+    }
+
+    /// Payloads not yet acknowledged.
+    pub fn outstanding(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Everything offered has been acknowledged.
+    pub fn idle(&self) -> bool {
+        self.unacked.is_empty() && self.outbox.is_empty()
+    }
+}
+
+/// Go-back-N receiver state machine.
+#[derive(Debug, Clone, Default)]
+pub struct GoBackNReceiver {
+    expected: u64,
+    /// Out-of-order packets discarded.
+    pub discarded: u64,
+}
+
+impl GoBackNReceiver {
+    /// Creates a receiver.
+    pub fn new() -> GoBackNReceiver {
+        GoBackNReceiver::default()
+    }
+
+    /// Processes an arriving packet; returns the in-order payload (if this
+    /// was the expected packet) and the ack to send back.
+    pub fn on_packet(&mut self, pkt: Packet) -> (Option<Vec<u8>>, Ack) {
+        if pkt.seq == self.expected {
+            self.expected += 1;
+            (
+                Some(pkt.payload),
+                Ack {
+                    next: self.expected,
+                },
+            )
+        } else {
+            // Go-back-N discards out-of-order data; the cumulative ack
+            // tells the sender where to resume.
+            self.discarded += 1;
+            (
+                None,
+                Ack {
+                    next: self.expected,
+                },
+            )
+        }
+    }
+
+    /// Next sequence number the receiver expects.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiary_sim::SimRng;
+
+    #[test]
+    fn lossless_in_order_delivery() {
+        let mut tx = GoBackNSender::new(4, 100);
+        let mut rx = GoBackNReceiver::new();
+        let mut delivered = Vec::new();
+        for i in 0..10u8 {
+            assert!(tx.offer(vec![i], Cycle(i as u64)));
+            for pkt in tx.poll(Cycle(i as u64)) {
+                let (data, ack) = rx.on_packet(pkt);
+                if let Some(d) = data {
+                    delivered.push(d[0]);
+                }
+                tx.on_ack(ack, Cycle(i as u64));
+            }
+        }
+        assert_eq!(delivered, (0..10).collect::<Vec<_>>());
+        assert!(tx.idle());
+        assert_eq!(tx.retransmissions, 0);
+    }
+
+    #[test]
+    fn window_blocks_when_full() {
+        let mut tx = GoBackNSender::new(2, 100);
+        assert!(tx.offer(vec![1], Cycle(0)));
+        assert!(tx.offer(vec![2], Cycle(0)));
+        assert!(!tx.offer(vec![3], Cycle(0)));
+        tx.on_ack(Ack { next: 1 }, Cycle(5));
+        assert!(tx.offer(vec![3], Cycle(5)));
+    }
+
+    #[test]
+    fn timeout_retransmits_window() {
+        let mut tx = GoBackNSender::new(4, 50);
+        tx.offer(vec![1], Cycle(0));
+        tx.offer(vec![2], Cycle(0));
+        let first = tx.poll(Cycle(0));
+        assert_eq!(first.len(), 2);
+        // Lose them; nothing to send until the timer fires.
+        assert!(tx.poll(Cycle(40)).is_empty());
+        let retx = tx.poll(Cycle(50));
+        assert_eq!(retx.len(), 2);
+        assert_eq!(retx[0].seq, 0);
+        assert_eq!(tx.retransmissions, 2);
+    }
+
+    #[test]
+    fn receiver_discards_out_of_order() {
+        let mut rx = GoBackNReceiver::new();
+        let (d, ack) = rx.on_packet(Packet {
+            seq: 3,
+            payload: vec![9],
+        });
+        assert!(d.is_none());
+        assert_eq!(ack, Ack { next: 0 });
+        assert_eq!(rx.discarded, 1);
+    }
+
+    #[test]
+    fn survives_heavy_loss_both_directions() {
+        let mut rng = SimRng::new(99);
+        let mut tx = GoBackNSender::new(8, 200);
+        let mut rx = GoBackNReceiver::new();
+        let total = 200u64;
+        let mut offered = 0u64;
+        let mut delivered: Vec<u64> = Vec::new();
+        // Wires with 30% loss, 10-cycle latency.
+        let mut data_wire: VecDeque<(Cycle, Packet)> = VecDeque::new();
+        let mut ack_wire: VecDeque<(Cycle, Ack)> = VecDeque::new();
+
+        for t in 0..2_000_000u64 {
+            let now = Cycle(t);
+            if offered < total && tx.offer(offered.to_le_bytes().to_vec(), now) {
+                offered += 1;
+            }
+            for pkt in tx.poll(now) {
+                if rng.gen_f64() > 0.3 {
+                    data_wire.push_back((now + 10, pkt));
+                }
+            }
+            while data_wire.front().is_some_and(|(at, _)| *at <= now) {
+                let (_, pkt) = data_wire.pop_front().expect("peeked");
+                let (data, ack) = rx.on_packet(pkt);
+                if let Some(d) = data {
+                    delivered.push(u64::from_le_bytes(d.try_into().expect("sized")));
+                }
+                if rng.gen_f64() > 0.3 {
+                    ack_wire.push_back((now + 10, ack));
+                }
+            }
+            while ack_wire.front().is_some_and(|(at, _)| *at <= now) {
+                let (_, ack) = ack_wire.pop_front().expect("peeked");
+                tx.on_ack(ack, now);
+            }
+            if delivered.len() as u64 == total && tx.idle() {
+                break;
+            }
+        }
+        assert_eq!(delivered.len() as u64, total, "all data delivered");
+        assert_eq!(delivered, (0..total).collect::<Vec<_>>(), "in order");
+        assert!(tx.retransmissions > 0, "loss must have caused retransmits");
+    }
+}

@@ -1,0 +1,286 @@
+//! External clients: load generation and client-observed latency.
+
+use apiary_sim::{Cycle, Histogram, SimRng};
+
+/// How a client issues requests.
+#[derive(Debug, Clone, Copy)]
+pub enum Workload {
+    /// Open loop: Poisson arrivals with the given mean inter-arrival time
+    /// (cycles). Arrival times do not react to response latency — the
+    /// honest way to measure latency under load.
+    Open {
+        /// Mean cycles between arrivals.
+        mean_interarrival: f64,
+    },
+    /// Closed loop: keep `outstanding` requests in flight; a response
+    /// triggers the next request after `think_cycles`.
+    Closed {
+        /// In-flight window.
+        outstanding: u32,
+        /// Think time between response and next request.
+        think_cycles: u64,
+    },
+}
+
+/// Client-observed statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStats {
+    /// Requests issued.
+    pub issued: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// Error responses received.
+    pub errors: u64,
+    /// Request-to-response round-trip latency (cycles).
+    pub rtt: Histogram,
+}
+
+/// A request generator on the far side of the wire.
+#[derive(Debug, Clone)]
+pub struct RequestGen {
+    /// Client identity (rides in frames).
+    pub client_id: u32,
+    /// Destination service port.
+    pub port: u16,
+    /// Request payload size in bytes.
+    pub payload_bytes: usize,
+    /// Issue policy.
+    pub workload: Workload,
+    /// Stop issuing after this many requests (`u64::MAX` = unbounded).
+    pub max_requests: u64,
+    rng: SimRng,
+    next_fire: Cycle,
+    in_flight: u32,
+    next_tag: u64,
+    /// Statistics.
+    pub stats: ClientStats,
+    /// Request send times by tag.
+    sent_at: std::collections::HashMap<u64, Cycle>,
+}
+
+impl RequestGen {
+    /// Creates a generator.
+    pub fn new(
+        client_id: u32,
+        port: u16,
+        payload_bytes: usize,
+        workload: Workload,
+        seed: u64,
+    ) -> RequestGen {
+        RequestGen {
+            client_id,
+            port,
+            payload_bytes,
+            workload,
+            max_requests: u64::MAX,
+            rng: SimRng::new(seed),
+            next_fire: Cycle::ZERO,
+            in_flight: 0,
+            next_tag: 0,
+            stats: ClientStats::default(),
+            sent_at: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Limits total requests.
+    pub fn with_max_requests(mut self, n: u64) -> RequestGen {
+        self.max_requests = n;
+        self
+    }
+
+    /// Returns the tags of requests to issue at `now`.
+    pub fn poll(&mut self, now: Cycle) -> Vec<u64> {
+        let mut out = Vec::new();
+        match self.workload {
+            Workload::Open { mean_interarrival } => {
+                while self.next_fire <= now && self.stats.issued < self.max_requests {
+                    out.push(self.issue(now));
+                    let gap = self.rng.gen_exp(mean_interarrival).max(1.0) as u64;
+                    self.next_fire += gap;
+                }
+            }
+            Workload::Closed { outstanding, .. } => {
+                while self.in_flight < outstanding
+                    && self.next_fire <= now
+                    && self.stats.issued < self.max_requests
+                {
+                    out.push(self.issue(now));
+                }
+            }
+        }
+        out
+    }
+
+    fn issue(&mut self, now: Cycle) -> u64 {
+        let tag = (self.client_id as u64) << 32 | self.next_tag;
+        self.next_tag += 1;
+        self.in_flight += 1;
+        self.stats.issued += 1;
+        self.sent_at.insert(tag, now);
+        tag
+    }
+
+    /// Records a response arriving at the client at `now`.
+    pub fn complete(&mut self, tag: u64, now: Cycle, is_error: bool) {
+        if let Some(sent) = self.sent_at.remove(&tag) {
+            self.in_flight = self.in_flight.saturating_sub(1);
+            self.stats.completed += 1;
+            if is_error {
+                self.stats.errors += 1;
+            }
+            self.stats.rtt.record(now - sent);
+            if let Workload::Closed { think_cycles, .. } = self.workload {
+                self.next_fire = now + think_cycles;
+            }
+        }
+    }
+
+    /// Requests awaiting responses.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// Returns `true` when the generator is done: its request budget is
+    /// exhausted and everything came back.
+    pub fn done(&self) -> bool {
+        self.stats.issued >= self.max_requests && self.in_flight == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_respects_window() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Closed {
+                outstanding: 2,
+                think_cycles: 0,
+            },
+            7,
+        );
+        let tags = g.poll(Cycle(0));
+        assert_eq!(tags.len(), 2);
+        assert!(g.poll(Cycle(1)).is_empty(), "window full");
+        g.complete(tags[0], Cycle(10), false);
+        assert_eq!(g.poll(Cycle(10)).len(), 1);
+        assert_eq!(g.stats.completed, 1);
+        assert_eq!(g.stats.rtt.max(), 10);
+    }
+
+    #[test]
+    fn closed_loop_think_time_delays_next() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Closed {
+                outstanding: 1,
+                think_cycles: 50,
+            },
+            7,
+        );
+        let t = g.poll(Cycle(0));
+        g.complete(t[0], Cycle(5), false);
+        assert!(g.poll(Cycle(30)).is_empty());
+        assert_eq!(g.poll(Cycle(55)).len(), 1);
+    }
+
+    #[test]
+    fn open_loop_rate_is_roughly_right() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Open {
+                mean_interarrival: 100.0,
+            },
+            42,
+        );
+        let mut issued = 0;
+        for t in 0..100_000u64 {
+            issued += g.poll(Cycle(t)).len();
+        }
+        // ~1000 expected; accept a wide band.
+        assert!((800..1200).contains(&issued), "issued {issued}");
+    }
+
+    #[test]
+    fn open_loop_does_not_wait_for_responses() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Open {
+                mean_interarrival: 10.0,
+            },
+            3,
+        );
+        let mut total = 0;
+        for t in 0..1000u64 {
+            total += g.poll(Cycle(t)).len();
+        }
+        assert!(total > 50, "issued {total} without any completions");
+    }
+
+    #[test]
+    fn max_requests_bounds_and_done() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Closed {
+                outstanding: 4,
+                think_cycles: 0,
+            },
+            9,
+        )
+        .with_max_requests(3);
+        let tags = g.poll(Cycle(0));
+        assert_eq!(tags.len(), 3);
+        assert!(!g.done());
+        for t in tags {
+            g.complete(t, Cycle(9), false);
+        }
+        assert!(g.done());
+        assert!(g.poll(Cycle(20)).is_empty());
+    }
+
+    #[test]
+    fn unknown_tag_ignored() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Closed {
+                outstanding: 1,
+                think_cycles: 0,
+            },
+            1,
+        );
+        g.complete(999, Cycle(5), false);
+        assert_eq!(g.stats.completed, 0);
+    }
+
+    #[test]
+    fn error_responses_counted() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Closed {
+                outstanding: 1,
+                think_cycles: 0,
+            },
+            1,
+        );
+        let t = g.poll(Cycle(0));
+        g.complete(t[0], Cycle(3), true);
+        assert_eq!(g.stats.errors, 1);
+        assert_eq!(g.stats.completed, 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! A proxy tile for a service hosted on a *remote* CPU (§6, open question
+//! 3).
+//!
+//! The paper asks whether Apiary can avoid an on-node host CPU entirely:
+//! functionality that is "rarely used or exceptionally complex" could live
+//! on *any* remote CPU, reached through the network, keeping the FPGA
+//! independent of its own host. This tile models exactly that: it occupies
+//! one Apiary tile (so callers use ordinary capabilities), but fulfilment
+//! happens across the wire on a finite pool of remote cores.
+//!
+//! Experiment E12 uses it to find the crossover: when is it worth spending
+//! fabric on a hardware service versus parking it on a remote CPU?
+
+use apiary_accel::{Accelerator, TileOs};
+use apiary_host::Resource;
+use apiary_monitor::wire;
+use apiary_noc::{Delivered, TrafficClass};
+use apiary_sim::Cycle;
+use std::collections::VecDeque;
+
+/// Remote-service cost parameters (cycles at the 250 MHz fabric clock).
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteConfig {
+    /// One-way network latency FPGA -> remote host (two switch hops;
+    /// ~2 us => 500 cycles).
+    pub wire_latency: u64,
+    /// Remote CPU cores serving this function.
+    pub cpu_cores: usize,
+    /// CPU cycles of work per request (network stack + the function).
+    pub cpu_cycles: u64,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            wire_latency: 500,
+            cpu_cores: 2,
+            cpu_cycles: 2_000,
+        }
+    }
+}
+
+/// The proxy accelerator: requests in, remote completions out.
+pub struct RemoteCpuProxy {
+    cfg: RemoteConfig,
+    cpu: Resource,
+    /// Completions waiting for their arrival time.
+    pending: VecDeque<(Cycle, Delivered)>,
+    /// Requests forwarded to the remote host.
+    pub forwarded: u64,
+    /// Responses relayed back to callers.
+    pub completed: u64,
+}
+
+impl RemoteCpuProxy {
+    /// Creates a proxy.
+    pub fn new(cfg: RemoteConfig) -> RemoteCpuProxy {
+        RemoteCpuProxy {
+            cpu: Resource::new(cfg.cpu_cores),
+            cfg,
+            pending: VecDeque::new(),
+            forwarded: 0,
+            completed: 0,
+        }
+    }
+
+    /// Remote CPU busy cycles so far (for energy accounting).
+    pub fn cpu_busy_cycles(&self) -> u64 {
+        self.cpu.busy_cycles
+    }
+}
+
+impl Accelerator for RemoteCpuProxy {
+    fn name(&self) -> &'static str {
+        "remote-cpu-proxy"
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+
+    fn tick(&mut self, os: &mut dyn TileOs) {
+        let now = os.now();
+        // Relay completions whose round trip has elapsed.
+        let mut keep = VecDeque::with_capacity(self.pending.len());
+        while let Some((at, req)) = self.pending.pop_front() {
+            if at <= now {
+                // The remote function's "result" is modelled as an echo;
+                // experiments only need the timing and the payload size.
+                let _ = os.reply(
+                    &req,
+                    wire::KIND_RESPONSE,
+                    TrafficClass::Request,
+                    req.msg.payload.clone(),
+                );
+                self.completed += 1;
+            } else {
+                keep.push_back((at, req));
+            }
+        }
+        self.pending = keep;
+        // Forward new requests across the wire to the remote cores.
+        while let Some(req) = os.recv() {
+            if req.msg.kind == wire::KIND_ERROR {
+                continue;
+            }
+            let at_host = now + self.cfg.wire_latency;
+            let cpu_done = self.cpu.acquire(at_host, self.cfg.cpu_cycles);
+            let back = cpu_done + self.cfg.wire_latency;
+            self.pending.push_back((back, req));
+            self.forwarded += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiary_accel::os::test_os::MockOs;
+    use apiary_noc::{Message, NodeId};
+
+    fn request(tag: u64) -> Delivered {
+        let mut msg = Message::new(NodeId(1), NodeId(0), TrafficClass::Request, vec![tag as u8]);
+        msg.kind = wire::KIND_REQUEST;
+        msg.tag = tag;
+        Delivered {
+            msg,
+            injected_at: Cycle(0),
+            delivered_at: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn remote_rtt_includes_wire_and_cpu() {
+        let cfg = RemoteConfig {
+            wire_latency: 100,
+            cpu_cores: 1,
+            cpu_cycles: 50,
+        };
+        let mut os = MockOs::new();
+        os.deliver(request(1));
+        let mut p = RemoteCpuProxy::new(cfg);
+        p.tick(&mut os);
+        // Too early: 100 + 50 + 100 = 250 cycles minimum.
+        for _ in 0..249 {
+            os.advance(1);
+            p.tick(&mut os);
+        }
+        assert!(os.sent.is_empty());
+        os.advance(1);
+        p.tick(&mut os);
+        assert_eq!(os.sent.len(), 1);
+        assert_eq!(p.completed, 1);
+    }
+
+    #[test]
+    fn finite_cores_queue_requests() {
+        let cfg = RemoteConfig {
+            wire_latency: 10,
+            cpu_cores: 1,
+            cpu_cycles: 100,
+        };
+        let mut os = MockOs::new();
+        for tag in 0..3 {
+            os.deliver(request(tag));
+        }
+        let mut p = RemoteCpuProxy::new(cfg);
+        // All three arrive at the host at t=10; the single core serialises:
+        // completions at 10+100+10, 10+200+10, 10+300+10.
+        for _ in 0..=121 {
+            p.tick(&mut os);
+            os.advance(1);
+        }
+        assert_eq!(p.completed, 1);
+        for _ in 0..100 {
+            p.tick(&mut os);
+            os.advance(1);
+        }
+        assert_eq!(p.completed, 2);
+        for _ in 0..100 {
+            p.tick(&mut os);
+            os.advance(1);
+        }
+        assert_eq!(p.completed, 3);
+        assert_eq!(p.cpu_busy_cycles(), 300);
+    }
+
+    #[test]
+    fn errors_not_forwarded() {
+        let mut os = MockOs::new();
+        let mut err = request(1);
+        err.msg.kind = wire::KIND_ERROR;
+        os.deliver(err);
+        let mut p = RemoteCpuProxy::new(RemoteConfig::default());
+        p.tick(&mut os);
+        assert_eq!(p.forwarded, 0);
+    }
+}

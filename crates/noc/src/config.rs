@@ -1,0 +1,119 @@
+//! NoC configuration.
+
+/// Parameters of the mesh NoC.
+#[derive(Debug, Clone, Copy)]
+pub struct NocConfig {
+    /// Mesh columns.
+    pub width: u8,
+    /// Mesh rows.
+    pub height: u8,
+    /// Virtual channels per link. Must be at least
+    /// [`crate::TrafficClass::ALL`]`.len()` (3) because traffic classes map
+    /// onto VCs.
+    pub vcs: usize,
+    /// Input-buffer depth per VC, in flits.
+    pub vc_buffer: usize,
+    /// Data bytes carried per flit (link width).
+    pub flit_bytes: usize,
+    /// Packet header size in bytes (routing + kind + tag + badge).
+    pub header_bytes: usize,
+    /// Extra pipeline cycles per hop beyond the buffer write (soft routers
+    /// typically add 1–2; a hardened NoC hides them).
+    pub hop_latency: u64,
+    /// Injection-queue depth at each local port, in messages.
+    pub inject_queue: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        // A conservative soft (fabric-logic) NoC on a 250 MHz clock.
+        NocConfig {
+            width: 4,
+            height: 4,
+            vcs: 3,
+            vc_buffer: 4,
+            flit_bytes: 16,
+            header_bytes: 16,
+            hop_latency: 1,
+            inject_queue: 8,
+        }
+    }
+}
+
+impl NocConfig {
+    /// A soft NoC with the given geometry and defaults elsewhere.
+    pub fn soft(width: u8, height: u8) -> NocConfig {
+        NocConfig {
+            width,
+            height,
+            ..NocConfig::default()
+        }
+    }
+
+    /// A hardened NoC (Versal/Agilex class): 128-bit-per-cycle equivalent
+    /// links modelled as wider flits, deeper buffers, and no per-hop bubble.
+    pub fn hardened(width: u8, height: u8) -> NocConfig {
+        NocConfig {
+            width,
+            height,
+            vcs: 3,
+            vc_buffer: 8,
+            flit_bytes: 32,
+            header_bytes: 16,
+            hop_latency: 0,
+            inject_queue: 16,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions, fewer VCs than traffic classes, zero
+    /// buffers, or zero-size flits.
+    pub fn validate(&self) {
+        assert!(self.width > 0 && self.height > 0, "empty mesh");
+        assert!(
+            self.vcs >= crate::packet::TrafficClass::ALL.len(),
+            "need one VC per traffic class"
+        );
+        assert!(self.vc_buffer > 0, "VC buffers must hold at least one flit");
+        assert!(self.flit_bytes > 0, "flits must carry data");
+        assert!(self.inject_queue > 0, "injection queue must exist");
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        NocConfig::default().validate();
+        NocConfig::soft(8, 8).validate();
+        NocConfig::hardened(6, 5).validate();
+    }
+
+    #[test]
+    fn hardened_is_wider_and_faster() {
+        let s = NocConfig::soft(4, 4);
+        let h = NocConfig::hardened(4, 4);
+        assert!(h.flit_bytes > s.flit_bytes);
+        assert!(h.hop_latency < s.hop_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "VC")]
+    fn too_few_vcs_rejected() {
+        let c = NocConfig {
+            vcs: 2,
+            ..NocConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,739 @@
+//! The NoC engine: wiring, cycle advancement, switching, injection and
+//! ejection.
+
+use crate::config::NocConfig;
+use crate::packet::{packetize, Delivered, Flit, FlitKind, Message, PacketId};
+use crate::router::{LockOwner, Router, PORTS};
+use crate::topology::{Direction, Mesh, NodeId, Port};
+use apiary_sim::{Cycle, Histogram};
+use std::collections::{HashMap, VecDeque};
+
+/// Why an injection was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectError {
+    /// The per-class injection queue at this node is full (backpressure).
+    QueueFull,
+    /// The destination is not a node of this mesh.
+    BadDestination,
+    /// The message's `src` field does not match the injecting node.
+    SrcMismatch,
+}
+
+impl core::fmt::Display for InjectError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InjectError::QueueFull => write!(f, "injection queue full"),
+            InjectError::BadDestination => write!(f, "destination outside mesh"),
+            InjectError::SrcMismatch => write!(f, "message src does not match injecting node"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    /// Messages accepted for injection.
+    pub injected: u64,
+    /// Messages delivered at their destination.
+    pub delivered: u64,
+    /// Injection attempts refused with [`InjectError::QueueFull`].
+    pub rejected: u64,
+    /// End-to-end message latency (inject call to tail ejection), cycles.
+    pub latency: Histogram,
+    /// Total flit-link traversals (a flit crossing one link counts once).
+    pub flit_hops: u64,
+    /// Flits ejected at local ports.
+    pub flits_ejected: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl NocStats {
+    /// Mean delivered throughput in flits per cycle (ejection side).
+    pub fn throughput_flits_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flits_ejected as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// One switch decision: move the head flit of `(node, in_port, vc)` to
+/// `out_port`.
+#[derive(Debug, Clone, Copy)]
+struct Move {
+    node: usize,
+    in_port: usize,
+    vc: usize,
+    out_port: usize,
+}
+
+const DIRS: [Direction; 4] = [
+    Direction::North,
+    Direction::South,
+    Direction::East,
+    Direction::West,
+];
+
+fn dir_index(d: Direction) -> usize {
+    match d {
+        Direction::North => 0,
+        Direction::South => 1,
+        Direction::East => 2,
+        Direction::West => 3,
+    }
+}
+
+/// The cycle-level mesh NoC.
+///
+/// # Examples
+///
+/// ```
+/// use apiary_noc::{Message, Noc, NocConfig, NodeId, TrafficClass};
+///
+/// let mut noc = Noc::new(NocConfig::soft(4, 4));
+/// let msg = Message::new(NodeId(0), NodeId(15), TrafficClass::Request, vec![1, 2, 3]);
+/// noc.try_inject(NodeId(0), msg).expect("queue space");
+/// for _ in 0..100 {
+///     noc.tick();
+/// }
+/// let got = noc.poll_eject(NodeId(15)).expect("delivered");
+/// assert_eq!(got.msg.payload, vec![1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct Noc {
+    cfg: NocConfig,
+    mesh: Mesh,
+    now: Cycle,
+    routers: Vec<Router>,
+    /// `links[node][dir]`: flits in flight toward `neighbor(node, dir)`,
+    /// as (arrival cycle, flit) in FIFO order.
+    links: Vec<[VecDeque<(Cycle, Flit)>; 4]>,
+    /// Injection queues: `nic[node][vc]` holds packetised messages.
+    nic: Vec<Vec<VecDeque<VecDeque<Flit>>>>,
+    /// Inject timestamp per in-flight packet.
+    inject_time: HashMap<u64, Cycle>,
+    /// Head-flit messages awaiting their tail at the destination.
+    reassembly: HashMap<u64, Box<Message>>,
+    /// Delivered messages awaiting pickup, per node.
+    eject_q: Vec<VecDeque<Delivered>>,
+    next_packet: u64,
+    in_flight: usize,
+    stats: NocStats,
+    /// Flits sent per outgoing link, indexed `[node][dir]` — the raw data
+    /// behind [`Noc::link_utilization`].
+    link_flits: Vec<[u64; 4]>,
+}
+
+impl Noc {
+    /// Builds a NoC from a validated configuration.
+    pub fn new(cfg: NocConfig) -> Noc {
+        cfg.validate();
+        let mesh = Mesh::new(cfg.width, cfg.height);
+        let n = mesh.nodes();
+        Noc {
+            mesh,
+            now: Cycle::ZERO,
+            routers: (0..n).map(|_| Router::new(cfg.vcs)).collect(),
+            links: (0..n)
+                .map(|_| std::array::from_fn(|_| VecDeque::new()))
+                .collect(),
+            nic: (0..n)
+                .map(|_| (0..cfg.vcs).map(|_| VecDeque::new()).collect())
+                .collect(),
+            inject_time: HashMap::new(),
+            reassembly: HashMap::new(),
+            eject_q: (0..n).map(|_| VecDeque::new()).collect(),
+            next_packet: 0,
+            in_flight: 0,
+            stats: NocStats::default(),
+            link_flits: (0..n).map(|_| [0; 4]).collect(),
+            cfg,
+        }
+    }
+
+    /// The mesh geometry.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Messages injected but not yet delivered.
+    pub fn pending(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Free message slots in `node`'s injection queue for `class`.
+    pub fn inject_space(&self, node: NodeId, class: crate::packet::TrafficClass) -> usize {
+        self.cfg.inject_queue - self.nic[node.index()][class.vc()].len()
+    }
+
+    /// Offers a message for injection at `from`.
+    ///
+    /// On success the message is queued at the local network interface and
+    /// will be streamed into the mesh one flit per cycle; the returned
+    /// [`PacketId`] can be used to correlate trace events.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError`] when the queue is full, the destination invalid, or
+    /// the source field forged.
+    pub fn try_inject(&mut self, from: NodeId, msg: Message) -> Result<PacketId, InjectError> {
+        if !self.mesh.contains(msg.dst) {
+            return Err(InjectError::BadDestination);
+        }
+        if msg.src != from || !self.mesh.contains(from) {
+            return Err(InjectError::SrcMismatch);
+        }
+        let vc = msg.class.vc();
+        if self.nic[from.index()][vc].len() >= self.cfg.inject_queue {
+            self.stats.rejected += 1;
+            return Err(InjectError::QueueFull);
+        }
+        let pid = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let flits = packetize(msg, pid, self.cfg.flit_bytes, self.cfg.header_bytes);
+        self.nic[from.index()][vc].push_back(flits.into());
+        self.inject_time.insert(pid.0, self.now);
+        self.in_flight += 1;
+        self.stats.injected += 1;
+        Ok(pid)
+    }
+
+    /// Takes one delivered message at `node`, if any.
+    pub fn poll_eject(&mut self, node: NodeId) -> Option<Delivered> {
+        self.eject_q[node.index()].pop_front()
+    }
+
+    /// Takes all delivered messages currently waiting at `node`.
+    pub fn drain_eject(&mut self, node: NodeId) -> Vec<Delivered> {
+        self.eject_q[node.index()].drain(..).collect()
+    }
+
+    /// Utilisation of every physical link as (source node, direction,
+    /// flits sent / cycles elapsed), hottest first. A link at 1.0 is
+    /// saturated (one flit per cycle).
+    pub fn link_utilization(&self) -> Vec<(NodeId, Direction, f64)> {
+        let cycles = self.stats.cycles.max(1) as f64;
+        let mut out = Vec::new();
+        for (node, dirs) in self.link_flits.iter().enumerate() {
+            for (di, &flits) in dirs.iter().enumerate() {
+                if self.mesh.neighbor(NodeId(node as u16), DIRS[di]).is_some() {
+                    out.push((NodeId(node as u16), DIRS[di], flits as f64 / cycles));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("utilisations are finite"));
+        out
+    }
+
+    /// Renders a per-node congestion heat map: each cell shows the busiest
+    /// outgoing link's utilisation in percent.
+    pub fn render_congestion(&self) -> String {
+        use core::fmt::Write;
+        let cycles = self.stats.cycles.max(1) as f64;
+        let mut out = String::new();
+        for y in (0..self.mesh.height).rev() {
+            for x in 0..self.mesh.width {
+                let n = self.mesh.node(crate::topology::Coord::new(x, y));
+                let hottest = self.link_flits[n.index()]
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0) as f64
+                    / cycles;
+                let _ = write!(out, "{:>5.1}% ", hottest * 100.0);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Free buffer slots at the input `(node, port, vc)`, accounting for
+    /// flits already in flight on the feeding link.
+    fn credit(&self, node: usize, in_port_dir: Direction, vc: usize) -> usize {
+        let port = Port::Dir(in_port_dir).index();
+        let occupied = self.routers[node].inputs[port].fifos[vc].len();
+        // The feeding link is the neighbour's link toward us.
+        let nb = self
+            .mesh
+            .neighbor(NodeId(node as u16), in_port_dir)
+            .expect("credit only queried for existing links");
+        let inflight = self.links[nb.index()][dir_index(in_port_dir.opposite())]
+            .iter()
+            .filter(|(_, f)| f.vc == vc)
+            .count();
+        self.cfg.vc_buffer.saturating_sub(occupied + inflight)
+    }
+
+    /// Advances the network by one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.stats.cycles += 1;
+        self.phase_link_arrivals();
+        let moves = self.phase_allocate();
+        self.phase_apply(&moves);
+        self.phase_inject();
+    }
+
+    /// Runs until no messages are in flight or `max_cycles` elapse; returns
+    /// `true` on quiescence.
+    pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.in_flight == 0 {
+                return true;
+            }
+            self.tick();
+        }
+        self.in_flight == 0
+    }
+
+    fn phase_link_arrivals(&mut self) {
+        for node in 0..self.mesh.nodes() {
+            for (di, d) in DIRS.iter().enumerate() {
+                let Some(nb) = self.mesh.neighbor(NodeId(node as u16), *d) else {
+                    continue;
+                };
+                let in_port = Port::Dir(d.opposite()).index();
+                while let Some(&(at, _)) = self.links[node][di].front() {
+                    if at > self.now {
+                        break;
+                    }
+                    let (_, flit) = self.links[node][di].pop_front().expect("peeked");
+                    let fifo = &mut self.routers[nb.index()].inputs[in_port].fifos[flit.vc];
+                    debug_assert!(
+                        fifo.len() < self.cfg.vc_buffer,
+                        "credit accounting must guarantee buffer space"
+                    );
+                    fifo.push_back(flit);
+                }
+            }
+        }
+    }
+
+    /// Switch allocation: per output port, strict priority across VCs
+    /// (lower class first), round-robin across input ports, wormhole lock
+    /// and credit checks. At most one flit per output port per cycle.
+    fn phase_allocate(&self) -> Vec<Move> {
+        let mut moves = Vec::new();
+        for node in 0..self.mesh.nodes() {
+            let router = &self.routers[node];
+            for out_port in 0..PORTS {
+                // Output link existence check for mesh edges.
+                let out_dir = match out_port {
+                    0 => None,
+                    i => Some(DIRS[i - 1]),
+                };
+                if let Some(d) = out_dir {
+                    if self.mesh.neighbor(NodeId(node as u16), d).is_none() {
+                        continue;
+                    }
+                }
+                'found: for vc in 0..self.cfg.vcs {
+                    // Credit check once per (out, vc).
+                    if let Some(d) = out_dir {
+                        let nb = self
+                            .mesh
+                            .neighbor(NodeId(node as u16), d)
+                            .expect("checked above");
+                        if self.credit(nb.index(), d.opposite(), vc) == 0 {
+                            continue;
+                        }
+                    }
+                    let lock = router.out_lock[out_port][vc];
+                    for k in 1..=PORTS {
+                        let in_port = (router.rr[out_port] + k) % PORTS;
+                        let Some(head) = router.inputs[in_port].fifos[vc].front() else {
+                            continue;
+                        };
+                        if self.mesh.route(NodeId(node as u16), head.dst).index() != out_port {
+                            continue;
+                        }
+                        let eligible = match lock {
+                            None => matches!(head.kind, FlitKind::Head(_)),
+                            Some(owner) => owner.in_port == in_port,
+                        };
+                        if !eligible {
+                            continue;
+                        }
+                        moves.push(Move {
+                            node,
+                            in_port,
+                            vc,
+                            out_port,
+                        });
+                        break 'found;
+                    }
+                }
+            }
+        }
+        moves
+    }
+
+    fn phase_apply(&mut self, moves: &[Move]) {
+        for m in moves {
+            let flit = self.routers[m.node].inputs[m.in_port].fifos[m.vc]
+                .pop_front()
+                .expect("move references a buffered flit");
+            // Wormhole lock maintenance.
+            let lock = &mut self.routers[m.node].out_lock[m.out_port][m.vc];
+            if flit.is_tail {
+                *lock = None;
+            } else if matches!(flit.kind, FlitKind::Head(_)) {
+                *lock = Some(LockOwner { in_port: m.in_port });
+            }
+            self.routers[m.node].rr[m.out_port] = m.in_port;
+
+            if m.out_port == Port::Local.index() {
+                self.eject(m.node, flit);
+            } else {
+                let arrive = self.now + 1 + self.cfg.hop_latency;
+                self.links[m.node][m.out_port - 1].push_back((arrive, flit));
+                self.link_flits[m.node][m.out_port - 1] += 1;
+                self.stats.flit_hops += 1;
+            }
+        }
+    }
+
+    fn eject(&mut self, node: usize, flit: Flit) {
+        self.stats.flits_ejected += 1;
+        let is_tail = flit.is_tail;
+        let pid = flit.packet;
+        match flit.kind {
+            FlitKind::Head(msg) => {
+                debug_assert_eq!(msg.dst.index(), node, "misrouted flit");
+                if is_tail {
+                    self.deliver(node, pid, *msg);
+                } else {
+                    self.reassembly.insert(pid.0, msg);
+                }
+            }
+            FlitKind::Body => {
+                if is_tail {
+                    let msg = self
+                        .reassembly
+                        .remove(&pid.0)
+                        .expect("head always precedes tail on a VC");
+                    self.deliver(node, pid, *msg);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, node: usize, pid: PacketId, msg: Message) {
+        let injected_at = self
+            .inject_time
+            .remove(&pid.0)
+            .expect("every packet has an inject timestamp");
+        let d = Delivered {
+            msg,
+            injected_at,
+            delivered_at: self.now,
+        };
+        self.stats.latency.record(d.latency());
+        self.stats.delivered += 1;
+        self.in_flight -= 1;
+        self.eject_q[node].push_back(d);
+    }
+
+    /// NIC: stream queued flits into the router's local input port, one flit
+    /// per node per cycle, highest-priority class first.
+    fn phase_inject(&mut self) {
+        let local = Port::Local.index();
+        for node in 0..self.mesh.nodes() {
+            for vc in 0..self.cfg.vcs {
+                if self.routers[node].inputs[local].fifos[vc].len() >= self.cfg.vc_buffer {
+                    continue;
+                }
+                let Some(pkt) = self.nic[node][vc].front_mut() else {
+                    continue;
+                };
+                let flit = pkt.pop_front().expect("queued packets are never empty");
+                if pkt.is_empty() {
+                    self.nic[node][vc].pop_front();
+                }
+                self.routers[node].inputs[local].fifos[vc].push_back(flit);
+                break; // One flit per node per cycle.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    fn msg(src: u16, dst: u16, bytes: usize) -> Message {
+        Message::new(
+            NodeId(src),
+            NodeId(dst),
+            TrafficClass::Request,
+            vec![0xAB; bytes],
+        )
+    }
+
+    #[test]
+    fn single_message_crosses_mesh() {
+        let mut noc = Noc::new(NocConfig::soft(4, 4));
+        noc.try_inject(NodeId(0), msg(0, 15, 32)).expect("space");
+        assert!(noc.run_until_quiescent(10_000));
+        let d = noc.poll_eject(NodeId(15)).expect("delivered");
+        assert_eq!(d.msg.src, NodeId(0));
+        assert_eq!(d.msg.payload.len(), 32);
+        assert!(d.latency() > 0);
+    }
+
+    #[test]
+    fn loopback_delivery() {
+        let mut noc = Noc::new(NocConfig::soft(2, 2));
+        noc.try_inject(NodeId(3), msg(3, 3, 8)).expect("space");
+        assert!(noc.run_until_quiescent(1_000));
+        assert!(noc.poll_eject(NodeId(3)).is_some());
+    }
+
+    #[test]
+    fn src_forgery_rejected() {
+        let mut noc = Noc::new(NocConfig::soft(2, 2));
+        assert_eq!(
+            noc.try_inject(NodeId(0), msg(1, 2, 8)),
+            Err(InjectError::SrcMismatch)
+        );
+    }
+
+    #[test]
+    fn bad_destination_rejected() {
+        let mut noc = Noc::new(NocConfig::soft(2, 2));
+        assert_eq!(
+            noc.try_inject(NodeId(0), msg(0, 99, 8)),
+            Err(InjectError::BadDestination)
+        );
+    }
+
+    #[test]
+    fn queue_fills_and_backpressures() {
+        let mut noc = Noc::new(NocConfig::soft(2, 2));
+        let q = noc.config().inject_queue;
+        for _ in 0..q {
+            noc.try_inject(NodeId(0), msg(0, 3, 8)).expect("space");
+        }
+        assert_eq!(
+            noc.try_inject(NodeId(0), msg(0, 3, 8)),
+            Err(InjectError::QueueFull)
+        );
+        assert_eq!(noc.stats().rejected, 1);
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let cfg = NocConfig::soft(8, 1);
+        let mut near = Noc::new(cfg);
+        near.try_inject(NodeId(0), msg(0, 1, 8)).expect("space");
+        near.run_until_quiescent(1_000);
+        let near_lat = near.poll_eject(NodeId(1)).expect("delivered").latency();
+
+        let mut far = Noc::new(cfg);
+        far.try_inject(NodeId(0), msg(0, 7, 8)).expect("space");
+        far.run_until_quiescent(1_000);
+        let far_lat = far.poll_eject(NodeId(7)).expect("delivered").latency();
+        assert!(far_lat > near_lat, "{far_lat} !> {near_lat}");
+    }
+
+    #[test]
+    fn large_message_latency_scales_with_flits() {
+        let cfg = NocConfig::soft(4, 4);
+        let mut a = Noc::new(cfg);
+        a.try_inject(NodeId(0), msg(0, 15, 16)).expect("space");
+        a.run_until_quiescent(10_000);
+        let small = a.poll_eject(NodeId(15)).expect("delivered").latency();
+
+        let mut b = Noc::new(cfg);
+        b.try_inject(NodeId(0), msg(0, 15, 1024)).expect("space");
+        b.run_until_quiescent(10_000);
+        let big = b.poll_eject(NodeId(15)).expect("delivered").latency();
+        // 1024 B at 16 B/flit is ~64 more flits of serialisation.
+        assert!(big >= small + 60, "big={big} small={small}");
+    }
+
+    #[test]
+    fn many_messages_all_deliver_exactly_once() {
+        let mut noc = Noc::new(NocConfig::soft(4, 4));
+        let n = noc.mesh().nodes() as u16;
+        let mut sent = 0u64;
+        // Every node sends to every other node, paced by queue capacity.
+        for round in 0..4 {
+            for s in 0..n {
+                let d = (s + 1 + round) % n;
+                if noc.try_inject(NodeId(s), msg(s, d, 40)).is_ok() {
+                    sent += 1;
+                }
+            }
+            for _ in 0..50 {
+                noc.tick();
+            }
+        }
+        assert!(noc.run_until_quiescent(100_000));
+        let total: u64 = (0..n)
+            .map(|i| noc.drain_eject(NodeId(i)).len() as u64)
+            .sum();
+        assert_eq!(total, sent);
+        assert_eq!(noc.stats().delivered, sent);
+    }
+
+    #[test]
+    fn per_source_fifo_order_within_class() {
+        let mut noc = Noc::new(NocConfig::soft(4, 1));
+        // Tag messages with a sequence number in the payload.
+        for i in 0..6u8 {
+            let mut m = msg(0, 3, 24);
+            m.payload[0] = i;
+            m.tag = i as u64;
+            noc.try_inject(NodeId(0), m).expect("space");
+        }
+        assert!(noc.run_until_quiescent(10_000));
+        let got = noc.drain_eject(NodeId(3));
+        let tags: Vec<u64> = got.iter().map(|d| d.msg.tag).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn control_class_beats_bulk_under_load() {
+        let mut noc = Noc::new(NocConfig::soft(8, 1));
+        // Saturate the path 0 -> 7 with bulk traffic.
+        for _ in 0..8 {
+            let mut m = msg(0, 7, 512);
+            m.class = TrafficClass::Bulk;
+            let _ = noc.try_inject(NodeId(0), m);
+        }
+        // Let bulk get going.
+        for _ in 0..20 {
+            noc.tick();
+        }
+        // Now a control message on the same path.
+        let mut c = msg(0, 7, 16);
+        c.class = TrafficClass::Control;
+        c.tag = 777;
+        noc.try_inject(NodeId(0), c).expect("space");
+        assert!(noc.run_until_quiescent(100_000));
+        let got = noc.drain_eject(NodeId(7));
+        let ctrl = got.iter().find(|d| d.msg.tag == 777).expect("delivered");
+        let bulk_max = got
+            .iter()
+            .filter(|d| d.msg.class == TrafficClass::Bulk)
+            .map(|d| d.delivered_at)
+            .max()
+            .expect("bulk delivered");
+        // Control overtakes at least the tail of the bulk burst.
+        assert!(ctrl.delivered_at < bulk_max);
+    }
+
+    #[test]
+    fn hardened_noc_is_faster() {
+        let mut soft = Noc::new(NocConfig::soft(8, 8));
+        soft.try_inject(NodeId(0), msg(0, 63, 256)).expect("space");
+        soft.run_until_quiescent(100_000);
+        let s = soft.poll_eject(NodeId(63)).expect("delivered").latency();
+
+        let mut hard = Noc::new(NocConfig::hardened(8, 8));
+        hard.try_inject(NodeId(0), msg(0, 63, 256)).expect("space");
+        hard.run_until_quiescent(100_000);
+        let h = hard.poll_eject(NodeId(63)).expect("delivered").latency();
+        assert!(h < s, "hardened {h} !< soft {s}");
+    }
+
+    #[test]
+    fn stats_counters_consistent() {
+        let mut noc = Noc::new(NocConfig::soft(3, 3));
+        for s in 0..9u16 {
+            let _ = noc.try_inject(NodeId(s), msg(s, (s + 4) % 9, 64));
+        }
+        assert!(noc.run_until_quiescent(50_000));
+        let st = noc.stats();
+        assert_eq!(st.injected, st.delivered);
+        assert_eq!(st.latency.count(), st.delivered);
+        assert!(st.flits_ejected >= st.delivered);
+        assert_eq!(noc.pending(), 0);
+    }
+}
+
+#[cfg(test)]
+mod link_stats_tests {
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    #[test]
+    fn link_utilization_sums_to_flit_hops() {
+        let mut noc = Noc::new(NocConfig::soft(4, 4));
+        for s in 0..16u16 {
+            let d = (s + 5) % 16;
+            if s == d {
+                continue;
+            }
+            let _ = noc.try_inject(
+                NodeId(s),
+                Message::new(NodeId(s), NodeId(d), TrafficClass::Request, vec![0; 100]),
+            );
+        }
+        assert!(noc.run_until_quiescent(100_000));
+        let cycles = noc.stats().cycles as f64;
+        let total: f64 = noc
+            .link_utilization()
+            .iter()
+            .map(|(_, _, u)| u * cycles)
+            .sum();
+        assert_eq!(total.round() as u64, noc.stats().flit_hops);
+    }
+
+    #[test]
+    fn hot_path_shows_up_in_utilization() {
+        let mut noc = Noc::new(NocConfig::soft(4, 1));
+        // Stream 0 -> 3 along the row.
+        for _ in 0..8 {
+            let _ = noc.try_inject(
+                NodeId(0),
+                Message::new(NodeId(0), NodeId(3), TrafficClass::Bulk, vec![0; 512]),
+            );
+        }
+        assert!(noc.run_until_quiescent(100_000));
+        let hot = noc.link_utilization();
+        // The hottest links are the eastward hops of the stream.
+        let (node, dir, util) = hot[0];
+        assert_eq!(dir, Direction::East);
+        assert!(node == NodeId(0) || node == NodeId(1) || node == NodeId(2));
+        assert!(util > 0.1, "{util}");
+        // Edge links (mesh boundary) never appear.
+        assert!(hot
+            .iter()
+            .all(|(n, d, _)| noc.mesh().neighbor(*n, *d).is_some()));
+    }
+
+    #[test]
+    fn congestion_render_has_grid_shape() {
+        let mut noc = Noc::new(NocConfig::soft(3, 2));
+        let _ = noc.try_inject(
+            NodeId(0),
+            Message::new(NodeId(0), NodeId(5), TrafficClass::Request, vec![0; 64]),
+        );
+        noc.run_until_quiescent(10_000);
+        let s = noc.render_congestion();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('%'));
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-node router state: input-buffered virtual channels, wormhole locks
+//! and round-robin arbitration pointers.
+//!
+//! The switching logic itself lives in [`crate::network`], which has the
+//! global view needed for credit computation; this module owns the state one
+//! router instance carries.
+
+use crate::packet::Flit;
+use std::collections::VecDeque;
+
+/// Number of ports on a mesh router (4 links + local).
+pub const PORTS: usize = 5;
+
+/// The input side of one port: a FIFO per virtual channel.
+#[derive(Debug, Clone, Default)]
+pub struct InputPort {
+    /// `fifos[vc]` buffers flits awaiting switch allocation.
+    pub fifos: Vec<VecDeque<Flit>>,
+}
+
+impl InputPort {
+    fn new(vcs: usize) -> InputPort {
+        InputPort {
+            fifos: (0..vcs).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Occupancy of one VC FIFO.
+    pub fn occupancy(&self, vc: usize) -> usize {
+        self.fifos[vc].len()
+    }
+}
+
+/// Who currently owns an output VC (wormhole: a packet holds its output VC
+/// from head to tail so its flits stay contiguous on the link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockOwner {
+    /// The input port the owning packet is arriving through.
+    pub in_port: usize,
+}
+
+/// One mesh router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// Input buffers, indexed `[port][vc]`.
+    pub inputs: Vec<InputPort>,
+    /// Wormhole ownership, indexed `[out_port][vc]`.
+    pub out_lock: Vec<Vec<Option<LockOwner>>>,
+    /// Round-robin pointer per output port (last input port granted).
+    pub rr: [usize; PORTS],
+}
+
+impl Router {
+    /// Creates a router with `vcs` virtual channels per port.
+    pub fn new(vcs: usize) -> Router {
+        Router {
+            inputs: (0..PORTS).map(|_| InputPort::new(vcs)).collect(),
+            out_lock: (0..PORTS)
+                .map(|_| (0..vcs).map(|_| None).collect())
+                .collect(),
+            rr: [0; PORTS],
+        }
+    }
+
+    /// Total flits buffered in this router.
+    pub fn buffered(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.fifos.iter())
+            .map(|f| f.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlitKind, PacketId};
+    use crate::topology::NodeId;
+
+    fn flit(vc: usize) -> Flit {
+        Flit {
+            packet: PacketId(1),
+            kind: FlitKind::Body,
+            is_tail: false,
+            dst: NodeId(0),
+            vc,
+        }
+    }
+
+    #[test]
+    fn fresh_router_is_empty() {
+        let r = Router::new(3);
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.inputs.len(), PORTS);
+        assert!(r.out_lock.iter().all(|p| p.iter().all(|l| l.is_none())));
+    }
+
+    #[test]
+    fn buffering_counts() {
+        let mut r = Router::new(3);
+        r.inputs[0].fifos[1].push_back(flit(1));
+        r.inputs[3].fifos[2].push_back(flit(2));
+        r.inputs[3].fifos[2].push_back(flit(2));
+        assert_eq!(r.buffered(), 3);
+        assert_eq!(r.inputs[3].occupancy(2), 2);
+        assert_eq!(r.inputs[0].occupancy(0), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the NoC.
+//!
+//! Invariants:
+//!
+//! 1. Every accepted message is delivered exactly once, intact, to the right
+//!    node (no loss, no duplication, no misrouting).
+//! 2. Messages between the same (src, dst) pair in the same traffic class
+//!    arrive in injection order (per-VC FIFO + deterministic XY path).
+//! 3. The network always drains (deadlock-freedom of XY + credit flow
+//!    control) within a generous cycle bound.
+
+use apiary_noc::{Message, Noc, NocConfig, NodeId, TrafficClass};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Send {
+    src: u16,
+    dst: u16,
+    class: u8,
+    bytes: u16,
+    /// Cycles to tick between this send and the next.
+    gap: u8,
+}
+
+fn arb_sends(nodes: u16) -> impl Strategy<Value = Vec<Send>> {
+    prop::collection::vec(
+        (0..nodes, 0..nodes, 0u8..3, 0u16..600, 0u8..6).prop_map(
+            |(src, dst, class, bytes, gap)| Send {
+                src,
+                dst,
+                class,
+                bytes,
+                gap,
+            },
+        ),
+        1..120,
+    )
+}
+
+fn class_of(i: u8) -> TrafficClass {
+    match i {
+        0 => TrafficClass::Control,
+        1 => TrafficClass::Request,
+        _ => TrafficClass::Bulk,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exactly_once_in_order_and_drains(
+        sends in arb_sends(16),
+        hardened in any::<bool>(),
+    ) {
+        let cfg = if hardened {
+            NocConfig::hardened(4, 4)
+        } else {
+            NocConfig::soft(4, 4)
+        };
+        let mut noc = Noc::new(cfg);
+        let mut accepted: Vec<(u16, u16, u8, u64)> = Vec::new(); // src,dst,class,seq
+        let mut seq = 0u64;
+
+        for s in &sends {
+            let mut m = Message::new(
+                NodeId(s.src),
+                NodeId(s.dst),
+                class_of(s.class),
+                vec![s.class; s.bytes as usize],
+            );
+            m.tag = seq;
+            if noc.try_inject(NodeId(s.src), m).is_ok() {
+                accepted.push((s.src, s.dst, s.class, seq));
+                seq += 1;
+            }
+            for _ in 0..s.gap {
+                noc.tick();
+            }
+        }
+
+        // Deadlock-freedom: generous bound, then hard assert.
+        prop_assert!(noc.run_until_quiescent(2_000_000), "network failed to drain");
+
+        // Collect all deliveries.
+        let mut got: Vec<(u16, u16, u8, u64)> = Vec::new();
+        let mut per_node: HashMap<u16, usize> = HashMap::new();
+        for n in 0..16u16 {
+            for d in noc.drain_eject(NodeId(n)) {
+                prop_assert_eq!(d.msg.dst, NodeId(n), "misrouted message");
+                // Payload intact.
+                prop_assert!(d.msg.payload.iter().all(|&b| b == d.msg.class as u8));
+                got.push((d.msg.src.0, d.msg.dst.0, d.msg.class as u8, d.msg.tag));
+                *per_node.entry(n).or_default() += 1;
+            }
+        }
+
+        // Exactly once: same multiset.
+        let mut a = accepted.clone();
+        let mut g = got.clone();
+        a.sort_unstable();
+        g.sort_unstable();
+        prop_assert_eq!(a, g);
+
+        // In-order per (src, dst, class).
+        let mut last: HashMap<(u16, u16, u8), u64> = HashMap::new();
+        // Deliveries per flow must be checked in delivery order; rebuild per
+        // node in ejection order (drain_eject preserved it in `got`).
+        for (src, dst, class, tag) in &got {
+            if let Some(prev) = last.insert((*src, *dst, *class), *tag) {
+                prop_assert!(
+                    prev < *tag,
+                    "flow ({src},{dst},{class}) delivered {tag} after {prev}"
+                );
+            }
+        }
+    }
+}

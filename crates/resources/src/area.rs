@@ -1,0 +1,204 @@
+//! Resource vectors: LUTs, flip-flops, BRAM and DSP slices.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul};
+
+/// A vector of FPGA logic resources.
+///
+/// Areas add component-wise and scale by integer factors, which is all the
+/// floor-planner needs. BRAM is counted in 36 Kb blocks (the Xilinx RAMB36
+/// unit) so that capability tables and message buffers can be sized in the
+/// same unit the vendor tools report.
+///
+/// # Examples
+///
+/// ```
+/// use apiary_resources::Area;
+///
+/// let monitor = Area { luts: 2_000, ffs: 3_000, bram36: 4, dsps: 0 };
+/// let four_tiles = monitor * 4;
+/// assert_eq!(four_tiles.luts, 8_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Area {
+    /// Look-up tables (6-input equivalents).
+    pub luts: u64,
+    /// Flip-flops / registers.
+    pub ffs: u64,
+    /// 36 Kb block RAMs.
+    pub bram36: u64,
+    /// DSP48-class multiply-accumulate slices.
+    pub dsps: u64,
+}
+
+impl Area {
+    /// The zero area.
+    pub const ZERO: Area = Area {
+        luts: 0,
+        ffs: 0,
+        bram36: 0,
+        dsps: 0,
+    };
+
+    /// Creates an area from LUT and FF counts only.
+    pub const fn logic(luts: u64, ffs: u64) -> Area {
+        Area {
+            luts,
+            ffs,
+            bram36: 0,
+            dsps: 0,
+        }
+    }
+
+    /// Returns `true` if every component of `self` fits within `budget`.
+    pub fn fits_in(&self, budget: &Area) -> bool {
+        self.luts <= budget.luts
+            && self.ffs <= budget.ffs
+            && self.bram36 <= budget.bram36
+            && self.dsps <= budget.dsps
+    }
+
+    /// Component-wise saturating subtraction: the resources left in `self`
+    /// after placing `other`.
+    pub fn saturating_sub(&self, other: &Area) -> Area {
+        Area {
+            luts: self.luts.saturating_sub(other.luts),
+            ffs: self.ffs.saturating_sub(other.ffs),
+            bram36: self.bram36.saturating_sub(other.bram36),
+            dsps: self.dsps.saturating_sub(other.dsps),
+        }
+    }
+
+    /// The largest single-resource utilisation of `self` against `budget`,
+    /// as a fraction in `[0, +inf)`. This is the binding constraint the
+    /// vendor tools would report.
+    pub fn utilisation_of(&self, budget: &Area) -> f64 {
+        fn frac(used: u64, avail: u64) -> f64 {
+            if avail == 0 {
+                if used == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                used as f64 / avail as f64
+            }
+        }
+        frac(self.luts, budget.luts)
+            .max(frac(self.ffs, budget.ffs))
+            .max(frac(self.bram36, budget.bram36))
+            .max(frac(self.dsps, budget.dsps))
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+
+    fn add(self, rhs: Area) -> Area {
+        Area {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            bram36: self.bram36 + rhs.bram36,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for Area {
+    fn add_assign(&mut self, rhs: Area) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Area {
+    type Output = Area;
+
+    fn mul(self, rhs: u64) -> Area {
+        Area {
+            luts: self.luts * rhs,
+            ffs: self.ffs * rhs,
+            bram36: self.bram36 * rhs,
+            dsps: self.dsps * rhs,
+        }
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT / {} FF / {} BRAM36 / {} DSP",
+            self.luts, self.ffs, self.bram36, self.dsps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale() {
+        let a = Area::logic(100, 200);
+        let b = Area {
+            luts: 1,
+            ffs: 2,
+            bram36: 3,
+            dsps: 4,
+        };
+        let sum = a + b * 2;
+        assert_eq!(sum.luts, 102);
+        assert_eq!(sum.ffs, 204);
+        assert_eq!(sum.bram36, 6);
+        assert_eq!(sum.dsps, 8);
+    }
+
+    #[test]
+    fn fits_in_is_componentwise() {
+        let small = Area::logic(10, 10);
+        let big = Area::logic(100, 100);
+        assert!(small.fits_in(&big));
+        assert!(!big.fits_in(&small));
+        // A single overflowing component fails the whole check.
+        let tall = Area {
+            luts: 1,
+            ffs: 1,
+            bram36: 999,
+            dsps: 0,
+        };
+        assert!(!tall.fits_in(&big));
+    }
+
+    #[test]
+    fn utilisation_picks_binding_constraint() {
+        let budget = Area {
+            luts: 1000,
+            ffs: 2000,
+            bram36: 10,
+            dsps: 10,
+        };
+        let used = Area {
+            luts: 100,
+            ffs: 100,
+            bram36: 9,
+            dsps: 0,
+        };
+        assert!((used.utilisation_of(&budget) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilisation_of_zero_budget() {
+        let none = Area::ZERO;
+        assert_eq!(Area::ZERO.utilisation_of(&none), 0.0);
+        assert_eq!(Area::logic(1, 0).utilisation_of(&none), f64::INFINITY);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let a = Area::logic(5, 5);
+        let b = Area::logic(10, 2);
+        let r = a.saturating_sub(&b);
+        assert_eq!(r.luts, 0);
+        assert_eq!(r.ffs, 3);
+    }
+}

@@ -1,0 +1,246 @@
+//! A catalog of real FPGA parts.
+//!
+//! The four parts from the paper's Table 1 are present with the paper's
+//! exact logic-cell counts; additional parts (VU9P as used by AWS F1 and
+//! Coyote, and a Versal part with a hardened NoC) are included because the
+//! floor-planning experiments place Apiary configurations on them.
+//!
+//! LUT/FF/BRAM/DSP figures are derived from vendor data sheets; logic-cell
+//! counts relate to LUTs by the vendor's marketing ratio (1.6 for 7-series,
+//! 2.1875 for UltraScale+). Logic-cell values for Table 1 rows are the
+//! paper's values verbatim.
+
+use crate::area::Area;
+
+/// An FPGA product family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Xilinx Virtex-7 (28 nm, 2010).
+    Virtex7,
+    /// Xilinx/AMD Virtex UltraScale+ (16 nm, 2016–2018).
+    VirtexUltraScalePlus,
+    /// AMD Versal ACAP (7 nm) — ships a *hardened* NoC, the substrate §4.3
+    /// of the paper points at for Apiary's interconnect.
+    Versal,
+}
+
+impl Family {
+    /// Human-readable family name as used in the paper's Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Virtex7 => "Virtex 7",
+            Family::VirtexUltraScalePlus => "Virtex Ultrascale+",
+            Family::Versal => "Versal",
+        }
+    }
+}
+
+/// A single FPGA part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Part {
+    /// Vendor part number, e.g. `"VU29P"`.
+    pub number: &'static str,
+    /// Product family.
+    pub family: Family,
+    /// Year the family was released (as reported in Table 1).
+    pub year: u16,
+    /// Marketing "logic cells" figure; Table 1's unit of comparison.
+    pub logic_cells: u64,
+    /// Programmable-logic resources available to designs.
+    pub resources: Area,
+    /// Whether the part ships a hardened (ASIC) NoC.
+    pub hardened_noc: bool,
+    /// Whether the part appears in the paper's Table 1.
+    pub in_table1: bool,
+}
+
+impl Part {
+    /// Looks a part up by its part number.
+    pub fn by_number(number: &str) -> Option<&'static Part> {
+        PARTS.iter().find(|p| p.number == number)
+    }
+}
+
+/// All catalogued parts, ordered by family then size.
+pub static PARTS: &[Part] = &[
+    Part {
+        number: "XC7V585T",
+        family: Family::Virtex7,
+        year: 2010,
+        logic_cells: 582_720,
+        resources: Area {
+            luts: 364_200,
+            ffs: 728_400,
+            bram36: 795,
+            dsps: 1_260,
+        },
+        hardened_noc: false,
+        in_table1: true,
+    },
+    Part {
+        number: "XC7VH870T",
+        family: Family::Virtex7,
+        year: 2010,
+        logic_cells: 876_160,
+        resources: Area {
+            luts: 547_600,
+            ffs: 1_095_200,
+            bram36: 1_880,
+            dsps: 2_520,
+        },
+        hardened_noc: false,
+        in_table1: true,
+    },
+    Part {
+        number: "VU3P",
+        family: Family::VirtexUltraScalePlus,
+        year: 2016,
+        logic_cells: 862_000,
+        resources: Area {
+            luts: 394_080,
+            ffs: 788_160,
+            bram36: 720,
+            dsps: 2_280,
+        },
+        hardened_noc: false,
+        in_table1: true,
+    },
+    Part {
+        number: "VU9P",
+        family: Family::VirtexUltraScalePlus,
+        year: 2016,
+        logic_cells: 2_586_000,
+        resources: Area {
+            luts: 1_182_240,
+            ffs: 2_364_480,
+            bram36: 2_160,
+            dsps: 6_840,
+        },
+        hardened_noc: false,
+        in_table1: false,
+    },
+    Part {
+        number: "VU29P",
+        family: Family::VirtexUltraScalePlus,
+        year: 2018,
+        logic_cells: 3_780_000,
+        resources: Area {
+            luts: 1_728_000,
+            ffs: 3_456_000,
+            bram36: 2_688,
+            dsps: 5_952,
+        },
+        hardened_noc: false,
+        in_table1: true,
+    },
+    Part {
+        number: "VP1802",
+        family: Family::Versal,
+        year: 2021,
+        logic_cells: 3_692_000,
+        resources: Area {
+            luts: 1_688_000,
+            ffs: 3_376_000,
+            bram36: 2_541,
+            dsps: 6_864,
+        },
+        hardened_noc: true,
+        in_table1: false,
+    },
+];
+
+/// Returns the Table 1 rows in paper order (smallest and largest part of
+/// each of the two families compared).
+pub fn table1_rows() -> Vec<&'static Part> {
+    PARTS.iter().filter(|p| p.in_table1).collect()
+}
+
+/// Growth factors derived from Table 1: `(smallest-part growth, largest-part
+/// growth)` between the Virtex-7 and Virtex UltraScale+ generations.
+///
+/// The paper summarises these as "about 50%" and "3x"; the exact quotients
+/// are ~1.48 and ~4.31.
+pub fn table1_growth_factors() -> (f64, f64) {
+    let small_old = Part::by_number("XC7V585T").expect("catalogued").logic_cells as f64;
+    let small_new = Part::by_number("VU3P").expect("catalogued").logic_cells as f64;
+    let large_old = Part::by_number("XC7VH870T")
+        .expect("catalogued")
+        .logic_cells as f64;
+    let large_new = Part::by_number("VU29P").expect("catalogued").logic_cells as f64;
+    (small_new / small_old, large_new / large_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_the_papers_four_parts() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 4);
+        let numbers: Vec<_> = rows.iter().map(|p| p.number).collect();
+        assert_eq!(numbers, vec!["XC7V585T", "XC7VH870T", "VU3P", "VU29P"]);
+    }
+
+    #[test]
+    fn table1_logic_cells_match_paper_exactly() {
+        let expect = [
+            ("XC7V585T", 582_720),
+            ("XC7VH870T", 876_160),
+            ("VU3P", 862_000),
+            ("VU29P", 3_780_000),
+        ];
+        for (number, cells) in expect {
+            assert_eq!(
+                Part::by_number(number).expect("present").logic_cells,
+                cells,
+                "{number}"
+            );
+        }
+    }
+
+    #[test]
+    fn growth_factors_match_papers_narrative() {
+        let (small, large) = table1_growth_factors();
+        // "the number of logic cells has increased by about 50%".
+        assert!((1.4..1.6).contains(&small), "small growth {small}");
+        // "the largest parts have scaled up by 3x" (the exact quotient is 4.3;
+        // the paper rounds aggressively downward).
+        assert!(large >= 3.0, "large growth {large}");
+    }
+
+    #[test]
+    fn table1_years_match_paper() {
+        assert_eq!(Part::by_number("XC7V585T").expect("present").year, 2010);
+        assert_eq!(Part::by_number("VU3P").expect("present").year, 2016);
+        assert_eq!(Part::by_number("VU29P").expect("present").year, 2018);
+    }
+
+    #[test]
+    fn logic_cell_ratio_is_consistent_with_luts() {
+        // 7-series: cells = LUTs * 1.6; UltraScale+: cells = LUTs * 2.1875.
+        for p in PARTS {
+            let ratio = p.logic_cells as f64 / p.resources.luts as f64;
+            match p.family {
+                Family::Virtex7 => assert!((ratio - 1.6).abs() < 0.01, "{}", p.number),
+                Family::VirtexUltraScalePlus => {
+                    assert!((ratio - 2.1875).abs() < 0.01, "{}", p.number)
+                }
+                Family::Versal => assert!((1.9..2.4).contains(&ratio), "{}", p.number),
+            }
+        }
+    }
+
+    #[test]
+    fn only_versal_has_hardened_noc() {
+        for p in PARTS {
+            assert_eq!(p.hardened_noc, p.family == Family::Versal, "{}", p.number);
+        }
+    }
+
+    #[test]
+    fn lookup_by_number() {
+        assert!(Part::by_number("VU9P").is_some());
+        assert!(Part::by_number("NOPE").is_none());
+    }
+}

@@ -1,0 +1,21 @@
+//! FPGA resource modelling for Apiary.
+//!
+//! Apiary's feasibility hinges on a resource question the paper poses
+//! explicitly (§6): *"What is the overhead of the per-tile monitor?"* — the
+//! fraction of a device spent on Apiary's static framework grows with the
+//! number of tiles. This crate provides the pieces needed to answer it:
+//!
+//! - [`catalog`]: a catalog of real Xilinx/AMD FPGA parts, including every
+//!   part in the paper's Table 1, with logic-cell/LUT/FF/BRAM counts,
+//! - [`area`]: the [`area::Area`] resource vector and utilisation math,
+//! - [`floorplan`]: a tile floor-planner that divides a part into Apiary
+//!   tiles and accounts for static (framework) versus dynamic (accelerator
+//!   slot) logic.
+
+pub mod area;
+pub mod catalog;
+pub mod floorplan;
+
+pub use area::Area;
+pub use catalog::{Family, Part, PARTS};
+pub use floorplan::{FloorPlan, FloorPlanError, FloorPlanner};

@@ -1,0 +1,186 @@
+//! Simulated time: cycles and the global clock.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in clock cycles since boot.
+///
+/// `Cycle` is an absolute timestamp; durations are plain `u64` cycle counts.
+/// All arithmetic saturates rather than wrapping so that sentinel values such
+/// as [`Cycle::MAX`] stay in range.
+///
+/// # Examples
+///
+/// ```
+/// use apiary_sim::Cycle;
+///
+/// let t = Cycle::ZERO + 10;
+/// assert_eq!(t.as_u64(), 10);
+/// assert_eq!(t - Cycle::ZERO, 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero: the boot instant of the simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cycle count that is `d` cycles later, saturating at
+    /// [`Cycle::MAX`].
+    #[inline]
+    pub const fn saturating_add(self, d: u64) -> Cycle {
+        Cycle(self.0.saturating_add(d))
+    }
+
+    /// Returns the number of cycles elapsed since `earlier`, or zero if
+    /// `earlier` is in the future.
+    #[inline]
+    pub const fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Converts this cycle count to nanoseconds at the given clock frequency.
+    ///
+    /// Useful when comparing FPGA-side cycle counts (e.g. at 250 MHz) against
+    /// host-side costs quoted in wall-clock time.
+    #[inline]
+    pub fn as_nanos(self, freq_mhz: u64) -> u64 {
+        // cycles / (MHz * 1e6) seconds = cycles * 1000 / MHz nanoseconds.
+        self.0.saturating_mul(1000) / freq_mhz.max(1)
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cyc:{}", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        *self = self.saturating_add(rhs);
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.saturating_since(rhs)
+    }
+}
+
+/// The global simulation clock.
+///
+/// A `Clock` only ever moves forward. Components read the current time via
+/// [`Clock::now`]; the top-level simulation driver advances it with
+/// [`Clock::tick`].
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Cycle,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Clock {
+        Clock { now: Cycle::ZERO }
+    }
+
+    /// Returns the current simulated time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances the clock by one cycle and returns the new time.
+    #[inline]
+    pub fn tick(&mut self) -> Cycle {
+        self.now += 1;
+        self.now
+    }
+
+    /// Advances the clock directly to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time; simulated time is
+    /// monotonic.
+    pub fn advance_to(&mut self, t: Cycle) {
+        assert!(
+            t >= self.now,
+            "clock moved backwards: {} -> {}",
+            self.now,
+            t
+        );
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_saturates() {
+        assert_eq!(Cycle::MAX + 1, Cycle::MAX);
+        assert_eq!(Cycle::ZERO - Cycle::MAX, 0);
+        assert_eq!(Cycle(7) - Cycle(3), 4);
+    }
+
+    #[test]
+    fn cycle_ordering() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(5).max(Cycle(9)), Cycle(9));
+    }
+
+    #[test]
+    fn nanos_conversion() {
+        // 250 cycles at 250 MHz is 1000 ns.
+        assert_eq!(Cycle(250).as_nanos(250), 1000);
+        // Zero frequency must not divide by zero.
+        assert_eq!(Cycle(250).as_nanos(0), 250_000);
+    }
+
+    #[test]
+    fn clock_ticks_forward() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), Cycle::ZERO);
+        assert_eq!(c.tick(), Cycle(1));
+        c.advance_to(Cycle(100));
+        assert_eq!(c.now(), Cycle(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn clock_rejects_time_travel() {
+        let mut c = Clock::new();
+        c.advance_to(Cycle(10));
+        c.advance_to(Cycle(5));
+    }
+}

@@ -1,0 +1,177 @@
+//! A deterministic, time-ordered event queue.
+
+use crate::clock::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: events sort by time, then by insertion order so
+/// that two events scheduled for the same cycle pop in FIFO order. This makes
+/// runs bit-for-bit reproducible regardless of heap internals.
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events are popped in nondecreasing time order; ties break in insertion
+/// order (FIFO). The queue never invents times: popping hands back the
+/// scheduled [`Cycle`] together with the event.
+///
+/// # Examples
+///
+/// ```
+/// use apiary_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(20), "later");
+/// q.schedule(Cycle(10), "sooner");
+/// assert_eq!(q.pop(), Some((Cycle(10), "sooner")));
+/// assert_eq!(q.pop(), Some((Cycle(20), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Returns the time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest event together with its time.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Removes and returns the earliest event only if it is due at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(30), 3);
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "a");
+        q.schedule(Cycle(20), "b");
+        assert_eq!(q.pop_due(Cycle(5)), None);
+        assert_eq!(q.pop_due(Cycle(10)), Some((Cycle(10), "a")));
+        assert_eq!(q.pop_due(Cycle(15)), None);
+        assert_eq!(q.pop_due(Cycle(25)), Some((Cycle(20), "b")));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Cycle(1), ());
+        q.schedule(Cycle(2), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "x");
+        q.schedule(Cycle(30), "z");
+        assert_eq!(q.pop(), Some((Cycle(10), "x")));
+        q.schedule(Cycle(20), "y");
+        assert_eq!(q.pop(), Some((Cycle(20), "y")));
+        assert_eq!(q.pop(), Some((Cycle(30), "z")));
+    }
+}

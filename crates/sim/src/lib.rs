@@ -1,0 +1,26 @@
+//! Discrete-event / cycle-level simulation kernel for Apiary.
+//!
+//! This crate is the substrate every other Apiary subsystem builds on. It
+//! provides:
+//!
+//! - [`Cycle`], a newtype for simulated clock cycles, with saturating
+//!   arithmetic helpers,
+//! - [`EventQueue`], a deterministic time-ordered event queue,
+//! - [`SimRng`], a small, seedable PRNG so every run is reproducible from a
+//!   single seed,
+//! - [`stats`], counters, histograms and running statistics used by the
+//!   benchmark harness and by the tracing layer.
+//!
+//! The simulator is *cycle-resolved*: components such as NoC routers and
+//! per-tile monitors advance once per cycle, while coarser components (host
+//! CPU models, external clients) schedule timed events on an [`EventQueue`].
+
+pub mod clock;
+pub mod event;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Clock, Cycle};
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, RunningStats};

@@ -1,0 +1,151 @@
+//! The load balancer over a real system: transparent replication (§4.1's
+//! "replicated accelerator with internal load balancing").
+
+use apiary::accel::apps::balance::{balancer, BalancerAccel};
+use apiary::accel::apps::echo::echo;
+use apiary::accel::apps::idle::idle;
+use apiary::core::{AppId, FaultPolicy, System, SystemConfig};
+use apiary::monitor::wire;
+use apiary::noc::{NodeId, TrafficClass};
+
+fn build(replicas: &[NodeId]) -> (System, apiary::cap::CapRef, NodeId) {
+    let client = NodeId(0);
+    let lb = NodeId(5);
+    let mut sys = System::new(SystemConfig::default());
+    sys.install(client, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(lb, Box::new(balancer()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    for (i, &r) in replicas.iter().enumerate() {
+        sys.install(r, Box::new(echo(32)), AppId(1), FaultPolicy::FailStop)
+            .expect("free");
+        sys.connect_env(lb, r, &format!("replica{i}"), false)
+            .expect("same app");
+        sys.connect(r, lb, false).expect("reply path");
+    }
+    let cap = sys.connect(client, lb, false).expect("same app");
+    sys.connect(lb, client, false).expect("reply path");
+    (sys, cap, lb)
+}
+
+#[test]
+fn balancer_is_transparent_to_the_client() {
+    let (mut sys, cap, lb) = build(&[NodeId(6), NodeId(9)]);
+    for tag in 0..10u64 {
+        let now = sys.now();
+        sys.tile_mut(NodeId(0))
+            .monitor
+            .send(
+                cap,
+                wire::KIND_REQUEST,
+                tag,
+                TrafficClass::Request,
+                vec![tag as u8; 24],
+                now,
+            )
+            .expect("send accepted");
+    }
+    assert!(sys.run_until_idle(1_000_000));
+    // All ten responses arrive with the client's own tags and payloads.
+    let mut tags = Vec::new();
+    while let Some(d) = sys.tile_mut(NodeId(0)).monitor.recv() {
+        assert_eq!(d.msg.kind, wire::KIND_RESPONSE);
+        assert_eq!(d.msg.payload, vec![d.msg.tag as u8; 24]);
+        assert_eq!(d.msg.src, lb, "the client only ever sees the balancer");
+        tags.push(d.msg.tag);
+    }
+    tags.sort_unstable();
+    assert_eq!(tags, (0..10).collect::<Vec<_>>());
+
+    // The work was actually spread over both replicas.
+    let b = sys.accel_as::<BalancerAccel>(lb).expect("installed");
+    assert_eq!(b.per_replica, vec![5, 5]);
+    assert_eq!(b.relayed, 10);
+}
+
+#[test]
+fn two_replicas_roughly_double_throughput() {
+    fn run_n(replicas: &[NodeId], requests: u64) -> u64 {
+        let (mut sys, cap, _) = build(replicas);
+        let start = sys.now();
+        let mut completed = 0u64;
+        let mut issued = 0u64;
+        let mut in_flight = 0u32;
+        for _ in 0..2_000_000u64 {
+            sys.tick();
+            while let Some(_d) = sys.tile_mut(NodeId(0)).monitor.recv() {
+                completed += 1;
+                in_flight -= 1;
+            }
+            // Keep 4 in flight.
+            while in_flight < 4 && issued < requests {
+                let now = sys.now();
+                if sys
+                    .tile_mut(NodeId(0))
+                    .monitor
+                    .send(
+                        cap,
+                        wire::KIND_REQUEST,
+                        issued,
+                        TrafficClass::Request,
+                        vec![1; 16],
+                        now,
+                    )
+                    .is_ok()
+                {
+                    issued += 1;
+                    in_flight += 1;
+                }
+            }
+            if completed == requests {
+                break;
+            }
+        }
+        assert_eq!(completed, requests, "balancer run stalled");
+        sys.now() - start
+    }
+    let one = run_n(&[NodeId(6)], 40);
+    let two = run_n(&[NodeId(6), NodeId(9)], 40);
+    assert!(
+        (two as f64) < one as f64 * 0.7,
+        "2 replicas took {two} vs 1 replica {one}"
+    );
+}
+
+#[test]
+fn dead_replica_errors_are_relayed_not_fatal() {
+    let (mut sys, cap, lb) = build(&[NodeId(6), NodeId(9)]);
+    sys.fail_stop(NodeId(6));
+    for tag in 0..6u64 {
+        let now = sys.now();
+        sys.tile_mut(NodeId(0))
+            .monitor
+            .send(
+                cap,
+                wire::KIND_REQUEST,
+                tag,
+                TrafficClass::Request,
+                vec![0; 8],
+                now,
+            )
+            .expect("send accepted");
+    }
+    assert!(sys.run_until_idle(1_000_000));
+    let mut ok = 0;
+    let mut errs = 0;
+    while let Some(d) = sys.tile_mut(NodeId(0)).monitor.recv() {
+        if d.msg.kind == wire::KIND_ERROR {
+            errs += 1;
+        } else {
+            ok += 1;
+        }
+    }
+    // Round-robin: half land on the dead replica and come back as errors,
+    // half succeed; the balancer itself never dies.
+    assert_eq!(ok, 3);
+    assert_eq!(errs, 3);
+    assert_eq!(
+        sys.tile(lb).monitor.state(),
+        apiary::monitor::TileState::Running
+    );
+}

@@ -1,0 +1,108 @@
+//! Determinism: identical seeds must produce bit-identical runs.
+//!
+//! Reproducibility is a core property of the simulator — every experiment
+//! in EXPERIMENTS.md is exactly re-runnable. These tests pin it down.
+
+use apiary::noc::{Message, Noc, NocConfig, NodeId, TrafficClass};
+use apiary::sim::SimRng;
+
+/// Drives random traffic on a NoC and returns a fingerprint of everything
+/// observable: delivery counts, per-message latencies in order, stats.
+fn fingerprint(seed: u64) -> Vec<u64> {
+    let mut noc = Noc::new(NocConfig::soft(4, 4));
+    let mut rng = SimRng::new(seed);
+    let mut fp = Vec::new();
+    for _ in 0..2_000 {
+        for src in 0..16u16 {
+            if rng.gen_bool(0.15) {
+                let dst = (src + 1 + rng.gen_range(15) as u16) % 16;
+                let class = match rng.gen_range(3) {
+                    0 => TrafficClass::Control,
+                    1 => TrafficClass::Request,
+                    _ => TrafficClass::Bulk,
+                };
+                let bytes = rng.gen_range(256) as usize;
+                let mut m = Message::new(NodeId(src), NodeId(dst), class, vec![0xD; bytes]);
+                m.tag = rng.next_u64();
+                let _ = noc.try_inject(NodeId(src), m);
+            }
+        }
+        noc.tick();
+        for n in 0..16u16 {
+            while let Some(d) = noc.poll_eject(NodeId(n)) {
+                fp.push(d.msg.tag);
+                fp.push(d.latency());
+            }
+        }
+    }
+    noc.run_until_quiescent(1_000_000);
+    for n in 0..16u16 {
+        while let Some(d) = noc.poll_eject(NodeId(n)) {
+            fp.push(d.msg.tag);
+            fp.push(d.latency());
+        }
+    }
+    let st = noc.stats();
+    fp.extend([st.injected, st.delivered, st.flit_hops, st.latency.p99()]);
+    fp
+}
+
+#[test]
+fn same_seed_same_run() {
+    assert_eq!(fingerprint(42), fingerprint(42));
+}
+
+#[test]
+fn different_seed_different_run() {
+    assert_ne!(fingerprint(1), fingerprint(2));
+}
+
+#[test]
+fn full_system_experiments_are_deterministic() {
+    // The heaviest end-to-end path: the E10 pipeline report, twice.
+    let a = apiary_bench_free_run();
+    let b = apiary_bench_free_run();
+    assert_eq!(a, b);
+}
+
+/// A small deterministic system run mirroring the bench scenarios without
+/// depending on the bench crate (kept self-contained on purpose).
+fn apiary_bench_free_run() -> String {
+    use apiary::accel::apps::echo::echo;
+    use apiary::accel::apps::idle::idle;
+    use apiary::core::{AppId, FaultPolicy, System, SystemConfig};
+    use apiary::monitor::wire;
+
+    let mut sys = System::new(SystemConfig::default());
+    sys.install(NodeId(0), Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(
+        NodeId(5),
+        Box::new(echo(4)),
+        AppId(1),
+        FaultPolicy::FailStop,
+    )
+    .expect("free");
+    let cap = sys.connect(NodeId(0), NodeId(5), false).expect("same app");
+    sys.connect(NodeId(5), NodeId(0), false)
+        .expect("reply path");
+    let mut log = String::new();
+    for tag in 0..20u64 {
+        let now = sys.now();
+        sys.tile_mut(NodeId(0))
+            .monitor
+            .send(
+                cap,
+                wire::KIND_REQUEST,
+                tag,
+                TrafficClass::Request,
+                vec![tag as u8; (tag as usize * 7) % 100],
+                now,
+            )
+            .expect("send accepted");
+        sys.run_until_idle(100_000);
+        let d = sys.tile_mut(NodeId(0)).monitor.recv().expect("reply");
+        log.push_str(&format!("{}:{} ", d.msg.tag, sys.now().as_u64()));
+    }
+    log
+}

@@ -1,0 +1,172 @@
+//! Stress: message-dependent deadlock and sustained saturation.
+//!
+//! The paper (§4.5) points at NoC work on *message-dependent deadlock*
+//! [Lankes'10, Murali'06]: request/response protocols can deadlock even on
+//! a deadlock-free network when replies block behind requests. Apiary's
+//! defences are bounded monitor queues with overload NACKs (no tile can be
+//! forced to buffer unboundedly) and traffic classes on separate VCs.
+//! These tests drive the system to saturation and require forward
+//! progress.
+
+use apiary::accel::apps::echo::echo;
+use apiary::accel::apps::idle::idle;
+use apiary::core::{AppId, FaultPolicy, System, SystemConfig};
+use apiary::monitor::wire;
+use apiary::noc::{NodeId, TrafficClass};
+use std::collections::HashMap;
+
+/// Every tile is an echo server; every tile also sends requests to three
+/// other tiles continuously. Requests, responses and NACKs all share the
+/// fabric at saturation; the system must keep completing work.
+#[test]
+fn all_to_all_request_response_saturation_makes_progress() {
+    let mut sys = System::new(SystemConfig::default());
+    let nodes = 15u16; // Tile 15 is the memory service.
+    for n in 0..nodes {
+        sys.install(
+            NodeId(n),
+            Box::new(echo(2)),
+            AppId(1),
+            FaultPolicy::FailStop,
+        )
+        .expect("free");
+    }
+    // Full bidirectional wiring among a triple-neighbourhood.
+    let mut caps = HashMap::new();
+    for n in 0..nodes {
+        for k in 1..=3u16 {
+            let d = (n + k) % nodes;
+            let cap = sys.connect(NodeId(n), NodeId(d), false).expect("same app");
+            caps.insert((n, d), cap);
+        }
+    }
+
+    let mut sent = 0u64;
+    let mut tag = 0u64;
+    for cycle in 0..60_000u64 {
+        // Saturating offered load: every tile tries a send every 4 cycles.
+        if cycle % 4 == 0 {
+            for n in 0..nodes {
+                let d = (n + 1 + (cycle / 4 % 3) as u16) % nodes;
+                let cap = caps[&(n, d)];
+                let now = sys.now();
+                tag += 1;
+                if sys
+                    .tile_mut(NodeId(n))
+                    .monitor
+                    .send(
+                        cap,
+                        wire::KIND_REQUEST,
+                        tag,
+                        TrafficClass::Request,
+                        vec![0; 48],
+                        now,
+                    )
+                    .is_ok()
+                {
+                    sent += 1;
+                }
+            }
+        }
+        sys.tick();
+    }
+    // Echo servers consumed each other's traffic; the progress criterion
+    // is aggregate deliveries, which must be a large fraction of sends.
+    let delivered: u64 = (0..nodes)
+        .map(|n| sys.tile(NodeId(n)).monitor.stats().received)
+        .sum();
+    assert!(sent > 10_000, "offered load too low: {sent}");
+    assert!(
+        delivered > sent / 2,
+        "only {delivered} of {sent} messages delivered — wedged?"
+    );
+    // And the system can still drain completely: no residual deadlock.
+    assert!(
+        sys.run_until_idle(5_000_000),
+        "network failed to drain after load stopped"
+    );
+}
+
+/// Two echo servers in a tight mutual request loop at full rate: the
+/// classic message-dependent-deadlock shape (each one's responses contend
+/// with the other's requests). Bounded queues + NACKs must keep it live.
+#[test]
+fn mutual_request_loop_never_wedges() {
+    let mut sys = System::new(SystemConfig::default());
+    let a = NodeId(1);
+    let b = NodeId(2);
+    sys.install(a, Box::new(echo(0)), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(b, Box::new(echo(0)), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    let ab = sys.connect(a, b, false).expect("same app");
+    let ba = sys.connect(b, a, false).expect("same app");
+
+    for cycle in 0..30_000u64 {
+        let now = sys.now();
+        // Both sides blast requests whenever their outbox has room.
+        let _ = sys.tile_mut(a).monitor.send(
+            ab,
+            wire::KIND_REQUEST,
+            cycle,
+            TrafficClass::Request,
+            vec![1; 32],
+            now,
+        );
+        let _ = sys.tile_mut(b).monitor.send(
+            ba,
+            wire::KIND_REQUEST,
+            cycle,
+            TrafficClass::Request,
+            vec![2; 32],
+            now,
+        );
+        sys.tick();
+    }
+    let got_a = sys.tile(a).monitor.stats().received;
+    let got_b = sys.tile(b).monitor.stats().received;
+    assert!(got_a > 1_000, "tile a starved: {got_a}");
+    assert!(got_b > 1_000, "tile b starved: {got_b}");
+    assert!(sys.run_until_idle(5_000_000), "drain failed");
+}
+
+/// Saturation with an idle (never-consuming) sink: the sink's inbox fills,
+/// the monitor NACKs the overflow, and the *senders* observe bounded
+/// refusal rather than the network wedging — the no-unbounded-buffering
+/// property that breaks the deadlock cycle.
+#[test]
+fn overloaded_sink_sheds_load_instead_of_wedging() {
+    let mut sys = System::new(SystemConfig::default());
+    let sink = NodeId(5);
+    sys.install(sink, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    let senders: Vec<NodeId> = vec![NodeId(0), NodeId(1), NodeId(4)];
+    let mut caps = Vec::new();
+    for &s in &senders {
+        sys.install(s, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+            .expect("free");
+        caps.push(sys.connect(s, sink, false).expect("same app"));
+    }
+
+    for cycle in 0..20_000u64 {
+        for (i, &s) in senders.iter().enumerate() {
+            let now = sys.now();
+            let _ = sys.tile_mut(s).monitor.send(
+                caps[i],
+                wire::KIND_REQUEST,
+                cycle,
+                TrafficClass::Request,
+                vec![0; 64],
+                now,
+            );
+        }
+        sys.tick();
+    }
+    // The sink holds exactly its inbox bound; the surplus was NACKed.
+    let inbox = sys.tile(sink).monitor.inbox_len();
+    assert!(inbox <= 64, "inbox grew unboundedly: {inbox}");
+    let nacks = sys.tile(sink).monitor.stats().nacks_sent;
+    assert!(nacks > 1_000, "expected heavy shedding, saw {nacks} NACKs");
+    // Senders received those error replies (their inboxes bounded too).
+    assert!(sys.run_until_idle(5_000_000), "drain failed");
+}
