@@ -45,7 +45,7 @@ pub fn request(op_code: u8, a: &[i32], b: &[i32]) -> Vec<u8> {
 
 /// Parses an elementwise response.
 pub fn parse_elementwise(payload: &[u8]) -> Option<Vec<i32>> {
-    if payload.len() % 4 != 0 {
+    if !payload.len().is_multiple_of(4) {
         return None;
     }
     Some(

@@ -4,9 +4,11 @@
 
 use apiary_bench::experiments as e;
 
+type Experiment = (&'static str, fn(bool) -> String);
+
 fn main() {
     let quick = !std::env::args().any(|a| a == "--full");
-    let experiments: Vec<(&str, fn(bool) -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("E1", e::e01_table1::run),
         ("E2", e::e02_figure1::run),
         ("E3", e::e03_monitor_overhead::run),
@@ -22,6 +24,7 @@ fn main() {
         ("E13", e::e13_noc_ablation::run),
         ("E14", e::e14_reconfig_churn::run),
         ("E15", e::e15_memory_service::run),
+        ("E16", e::e16_chaos::run),
     ];
     for (id, run) in experiments {
         println!("==================== {id} ====================");

@@ -195,8 +195,7 @@ mod tests {
             .filter(|l| l.contains('%') && l.starts_with("| "))
             .filter_map(|l| {
                 l.split('|')
-                    .filter(|c| c.contains('%'))
-                    .next_back()
+                    .rfind(|c| c.contains('%'))
                     .and_then(|c| c.trim().trim_end_matches('%').parse::<f64>().ok())
             })
             .collect();

@@ -1,0 +1,398 @@
+//! E16 — Chaos: availability under injected faults (§4.4 stressed).
+//!
+//! The chaos plane injects NoC faults (transient/permanent link outages,
+//! router stalls, flit corruption) from a seeded schedule while tile-kill
+//! events repeatedly fault the service's accelerator. Two recovery
+//! policies face the same fault sequence:
+//!
+//! - **no-recovery**: fail-stop only; the first tile kill is permanent.
+//! - **supervisor**: the kernel supervisor restarts the service in place
+//!   (backoff + partial reconfiguration), escalating to migration onto a
+//!   spare tile, and rewires clients after every recovery.
+//!
+//! Reported per `(fault rate, policy)` cell: goodput retention against a
+//! fault-free baseline, the MTTR distribution of supervised recoveries,
+//! and the blast radius (tiles with any fault on record). Every run must
+//! drain — an injected fault may cost packets, never the network.
+
+use crate::scenarios::MonitorClient;
+use crate::table::TextTable;
+use apiary_accel::apps::echo::echo;
+use apiary_accel::apps::idle::idle;
+use apiary_cap::ServiceId;
+use apiary_core::supervisor::SupervisorConfig;
+use apiary_core::{AppId, FaultPolicy, System, SystemConfig};
+use apiary_monitor::TileState;
+use apiary_noc::{FaultPlane, FaultPlaneConfig, NodeId};
+use apiary_sim::SimRng;
+use core::fmt::Write;
+
+const SVC: ServiceId = ServiceId(16);
+const CLIENT: NodeId = NodeId(0);
+const HOME: NodeId = NodeId(5);
+const B_CLIENT: NodeId = NodeId(3);
+const B_SERVER: NodeId = NodeId(6);
+const SPARES: [NodeId; 2] = [NodeId(10), NodeId(12)];
+const BITSTREAM: u64 = 4096; // 1024 cycles over the default 4 B/cycle ICAP.
+const KILL_CODE: u32 = 0xC4A0_0016;
+
+/// One `(fault rate, policy)` cell's measurements.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-cycle disruptive-event probability driven into the fault plane.
+    pub fault_rate: f64,
+    /// `true` when the supervisor was enabled.
+    pub recovery: bool,
+    /// Successful (non-error) responses at the driven client.
+    pub completed_ok: u64,
+    /// Error responses (outage replies).
+    pub errors: u64,
+    /// Requests abandoned on timeout (dropped by NoC faults).
+    pub lost: u64,
+    /// Successful responses at the bystander pair.
+    pub bystander_ok: u64,
+    /// Tile kills injected.
+    pub kills: u64,
+    /// Supervisor incidents opened / abandoned.
+    pub incidents: u64,
+    /// Incidents the supervisor gave up on.
+    pub abandoned: u64,
+    /// MTTR (cycles) of every recovered incident.
+    pub mttr: Vec<u64>,
+    /// Distinct tiles with at least one fault on record (blast radius).
+    pub blast_tiles: u64,
+    /// Flits the chaos plane corrupted (detected at ejection).
+    pub corrupted_flits: u64,
+    /// Packets the NoC dropped (corrupt + unreachable + flushed).
+    pub noc_dropped: u64,
+    /// Link faults applied (transient + permanent).
+    pub link_faults: u64,
+    /// Router stalls applied.
+    pub router_stalls: u64,
+    /// The post-run drain reached quiescence (must always be true).
+    pub drained: bool,
+}
+
+impl RunOutcome {
+    fn mttr_mean(&self) -> u64 {
+        if self.mttr.is_empty() {
+            0
+        } else {
+            self.mttr.iter().sum::<u64>() / self.mttr.len() as u64
+        }
+    }
+}
+
+/// The whole experiment: a fault-free baseline plus the sweep grid.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Successful responses of the fault-free, recovery-off baseline.
+    pub baseline_ok: u64,
+    /// Cycles of driven load per run.
+    pub duration: u64,
+    /// Sweep cells, in `(rate, policy)` order.
+    pub runs: Vec<RunOutcome>,
+}
+
+/// Drives one cell: `duration` cycles of closed-loop load against a
+/// supervised echo service while the chaos plane and the tile-killer run.
+pub fn run_one(seed: u64, fault_rate: f64, recovery: bool, duration: u64) -> RunOutcome {
+    let mut sys = System::new(SystemConfig {
+        supervisor: SupervisorConfig {
+            enabled: recovery,
+            max_restarts: 2,
+            restart_backoff: 128,
+            spare_nodes: SPARES.to_vec(),
+        },
+        ..SystemConfig::default()
+    });
+    sys.install(CLIENT, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
+        .expect("free");
+    sys.deploy_service(
+        SVC,
+        HOME,
+        AppId(1),
+        FaultPolicy::FailStop,
+        BITSTREAM,
+        Box::new(|| Box::new(echo(1))),
+    )
+    .expect("free");
+    let cap = sys.attach_client(CLIENT, SVC).expect("wired");
+    // A bystander pair on unrelated tiles measures collateral damage.
+    sys.install(B_CLIENT, Box::new(idle()), AppId(2), FaultPolicy::FailStop)
+        .expect("free");
+    sys.install(B_SERVER, Box::new(echo(1)), AppId(2), FaultPolicy::FailStop)
+        .expect("free");
+    let bcap = sys.connect(B_CLIENT, B_SERVER, false).expect("same app");
+    sys.connect(B_SERVER, B_CLIENT, false).expect("reply path");
+
+    if fault_rate > 0.0 {
+        sys.noc_mut()
+            .install_fault_plane(FaultPlane::new(FaultPlaneConfig::with_rate(
+                seed, fault_rate,
+            )));
+    }
+
+    // The fault-free RTT is ~20 cycles; 250 clears any stall/detour pile-up
+    // while keeping a dropped request from wedging its window slot long.
+    let mut vc = MonitorClient::new(CLIENT, cap, 32).window(4);
+    vc.timeout = 250;
+    let mut bc = MonitorClient::new(B_CLIENT, bcap, 32).window(2);
+    bc.timeout = 250;
+
+    // Tile kills arrive on a jittered schedule, independent of the NoC
+    // plane's RNG, only while faults are enabled at all.
+    let mut killer = SimRng::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let kill_interval = duration / 4;
+    let mut next_kill = if fault_rate > 0.0 {
+        kill_interval + killer.gen_range(kill_interval / 2)
+    } else {
+        u64::MAX
+    };
+    let mut kills = 0u64;
+
+    for _ in 0..duration {
+        sys.tick();
+        vc.pump(&mut sys);
+        bc.pump(&mut sys);
+        let now = sys.now().as_u64();
+        if now >= next_kill {
+            if let Some(home) = sys.service_home(SVC) {
+                if sys.tile(home).monitor.state() == TileState::Running {
+                    sys.inject_fault(home, KILL_CODE);
+                    kills += 1;
+                }
+            }
+            next_kill = now + kill_interval + killer.gen_range(kill_interval / 2);
+        }
+    }
+    // Stop issuing and drain: no injected fault may wedge the network.
+    vc.max_requests = vc.issued;
+    bc.max_requests = bc.issued;
+    let mut drained = false;
+    for _ in 0..3 {
+        drained = sys.run_until_idle(2_000_000);
+        vc.pump(&mut sys);
+        bc.pump(&mut sys);
+        if drained {
+            break;
+        }
+    }
+
+    let blast_tiles = (0..sys.noc().mesh().nodes())
+        .filter(|&i| !sys.tile(NodeId(i as u16)).faults.is_empty())
+        .count() as u64;
+    let st = sys.noc().stats().clone();
+    RunOutcome {
+        fault_rate,
+        recovery,
+        completed_ok: vc.completed - vc.errors,
+        errors: vc.errors,
+        lost: vc.lost,
+        bystander_ok: bc.completed - bc.errors,
+        kills,
+        incidents: sys.incidents().len() as u64,
+        abandoned: sys.incidents().iter().filter(|i| i.abandoned()).count() as u64,
+        mttr: sys.mttr_samples(),
+        blast_tiles,
+        corrupted_flits: st.corrupted_flits,
+        noc_dropped: st.dropped(),
+        link_faults: st.link_faults,
+        router_stalls: st.router_stalls,
+        drained,
+    }
+}
+
+/// Executes the sweep.
+pub fn execute(quick: bool) -> ChaosReport {
+    let seed = 0xE16;
+    let duration: u64 = if quick { 120_000 } else { 400_000 };
+    let rates = [0.0005, 0.002, 0.01];
+    let baseline = run_one(seed, 0.0, false, duration);
+    assert!(baseline.drained, "fault-free baseline must drain");
+    let mut runs = Vec::new();
+    for &rate in &rates {
+        for recovery in [false, true] {
+            let o = run_one(seed, rate, recovery, duration);
+            assert!(
+                o.drained,
+                "chaos run (rate {rate}, recovery {recovery}) failed to drain"
+            );
+            runs.push(o);
+        }
+    }
+    ChaosReport {
+        baseline_ok: baseline.completed_ok,
+        duration,
+        runs,
+    }
+}
+
+impl ChaosReport {
+    /// Goodput retention of a cell against the fault-free baseline.
+    pub fn retention(&self, o: &RunOutcome) -> f64 {
+        o.completed_ok as f64 / self.baseline_ok.max(1) as f64
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E16: Chaos — goodput retention and MTTR under injected faults\n\
+             ({} cycles of closed-loop load per cell; fault-free baseline {} ok responses)\n",
+            self.duration, self.baseline_ok
+        );
+        let mut t = TextTable::new(&[
+            "fault rate",
+            "policy",
+            "goodput retention",
+            "errors",
+            "lost",
+            "kills",
+            "incidents",
+            "mean MTTR (cyc)",
+            "blast tiles",
+            "noc dropped",
+        ]);
+        for o in &self.runs {
+            t.row_owned(vec![
+                format!("{}", o.fault_rate),
+                if o.recovery {
+                    "supervisor"
+                } else {
+                    "no-recovery"
+                }
+                .to_string(),
+                format!("{:.1}%", self.retention(o) * 100.0),
+                o.errors.to_string(),
+                o.lost.to_string(),
+                o.kills.to_string(),
+                format!("{} ({} abandoned)", o.incidents, o.abandoned),
+                o.mttr_mean().to_string(),
+                o.blast_tiles.to_string(),
+                o.noc_dropped.to_string(),
+            ]);
+        }
+        let _ = writeln!(out, "{}", t.render());
+        let _ = writeln!(
+            out,
+            "Reading: without recovery the first tile kill is fatal — goodput is capped\n\
+             by whenever it lands. The supervisor holds goodput near baseline by paying a\n\
+             bounded MTTR (backoff + bitstream) per kill; NoC-level faults cost only the\n\
+             packets they touch (checksummed drops + timeouts), never the network: every\n\
+             run drains to quiescence. Blast radius stays at the killed tile — monitors\n\
+             contain faults (§4.4)."
+        );
+        out
+    }
+
+    /// Machine-readable results (hand-rolled JSON; no serde offline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"experiment\": \"e16_chaos\",");
+        let _ = writeln!(s, "  \"duration_cycles\": {},", self.duration);
+        let _ = writeln!(s, "  \"baseline_ok\": {},", self.baseline_ok);
+        s.push_str("  \"runs\": [\n");
+        for (i, o) in self.runs.iter().enumerate() {
+            let mttr = o
+                .mttr
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                s,
+                "    {{\"fault_rate\": {}, \"policy\": \"{}\", \"completed_ok\": {}, \
+                 \"goodput_retention\": {:.4}, \"errors\": {}, \"lost\": {}, \
+                 \"bystander_ok\": {}, \"kills\": {}, \"incidents\": {}, \
+                 \"abandoned\": {}, \"mttr_cycles\": [{}], \"mttr_mean\": {}, \
+                 \"blast_radius_tiles\": {}, \"corrupted_flits\": {}, \
+                 \"noc_dropped\": {}, \"link_faults\": {}, \"router_stalls\": {}, \
+                 \"drained\": {}}}",
+                o.fault_rate,
+                if o.recovery {
+                    "supervisor"
+                } else {
+                    "no-recovery"
+                },
+                o.completed_ok,
+                self.retention(o),
+                o.errors,
+                o.lost,
+                o.bystander_ok,
+                o.kills,
+                o.incidents,
+                o.abandoned,
+                mttr,
+                o.mttr_mean(),
+                o.blast_tiles,
+                o.corrupted_flits,
+                o.noc_dropped,
+                o.link_faults,
+                o.router_stalls,
+                o.drained,
+            );
+            s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    execute(quick).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supervisor_retains_goodput_no_recovery_does_not() {
+        let r = execute(true);
+        // The lowest sweep rate is the "moderate" cell (~10% link-outage
+        // duty cycle plus periodic tile kills); the others are harsher.
+        let moderate: Vec<&RunOutcome> = r
+            .runs
+            .iter()
+            .filter(|o| (o.fault_rate - 0.0005).abs() < 1e-9)
+            .collect();
+        let no_rec = moderate.iter().find(|o| !o.recovery).expect("cell");
+        let sup = moderate.iter().find(|o| o.recovery).expect("cell");
+        assert!(
+            r.retention(sup) >= 0.90,
+            "supervised retention {:.3} below 90%",
+            r.retention(sup)
+        );
+        assert!(
+            r.retention(no_rec) < 0.90,
+            "no-recovery retention {:.3} unexpectedly high",
+            r.retention(no_rec)
+        );
+        assert!(sup.incidents > 0 && !sup.mttr.is_empty());
+        assert_eq!(no_rec.incidents, 0, "supervisor off records no incidents");
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let a = run_one(7, 0.002, true, 60_000);
+        let b = run_one(7, 0.002, true, 60_000);
+        assert_eq!(a.completed_ok, b.completed_ok);
+        assert_eq!(a.mttr, b.mttr);
+        assert_eq!(a.corrupted_flits, b.corrupted_flits);
+        assert_eq!(a.noc_dropped, b.noc_dropped);
+        assert_eq!(a.kills, b.kills);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = execute(true);
+        let j = r.to_json();
+        assert!(j.contains("\"experiment\": \"e16_chaos\""));
+        assert_eq!(j.matches("\"policy\"").count(), 6, "3 rates x 2 policies");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

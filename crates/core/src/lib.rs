@@ -29,10 +29,12 @@ pub mod memsvc;
 pub mod process;
 pub mod reconfig;
 pub mod registry;
+pub mod supervisor;
 pub mod system;
 pub mod tile;
 
 pub use fault::FaultPolicy;
 pub use process::AppId;
+pub use supervisor::{AccelFactory, Incident, RecoveryTarget, Supervisor, SupervisorConfig};
 pub use system::{System, SystemConfig, SystemError};
 pub use tile::Tile;

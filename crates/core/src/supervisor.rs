@@ -1,0 +1,217 @@
+//! The self-healing supervisor (§4.4 taken to its conclusion).
+//!
+//! Fail-stop answers *what* happens when a tile dies: the monitor seals it
+//! and correspondents get errors. The supervisor answers *what happens
+//! next*. Services registered with [`crate::System::deploy_service`] are
+//! watched; when their tile fail-stops (accelerator fault, watchdog hang,
+//! or an operator/chaos [`crate::System::inject_fault`]), the supervisor
+//! walks an escalation ladder:
+//!
+//! 1. **restart in place** — after a backoff that doubles per attempt, the
+//!    tile is partially reconfigured with a fresh instance from the
+//!    service's factory;
+//! 2. **migrate** — once `max_restarts` in-place attempts are exhausted,
+//!    the next incident re-instantiates the service on a spare node from
+//!    [`SupervisorConfig::spare_nodes`];
+//! 3. **give up** — with no spares left the incident is recorded as
+//!    abandoned and the service stays down.
+//!
+//! Recovery is only complete once the kernel has **rewired** the service:
+//! every registered client's name table is rebound to the new home (their
+//! existing service capabilities keep working — naming is late-bound,
+//! §4.3), and the new home is granted reply endpoints to each client. The
+//! dead tile's own capability table was already cleared by fail-stop/reset,
+//! so no stale authority survives the move.
+//!
+//! Each incident records detection and recovery cycles; the difference is
+//! the incident's MTTR, the metric experiment E16 sweeps.
+
+use crate::fault::FaultPolicy;
+use crate::process::AppId;
+use apiary_accel::Accelerator;
+use apiary_cap::ServiceId;
+use apiary_noc::NodeId;
+use apiary_sim::Cycle;
+
+/// Builds a fresh instance of a supervised service's accelerator.
+pub type AccelFactory = Box<dyn Fn() -> Box<dyn Accelerator>>;
+
+/// Supervisor policy knobs, part of [`crate::SystemConfig`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Master switch. Off by default: systems that never call
+    /// [`crate::System::deploy_service`] behave exactly as before.
+    pub enabled: bool,
+    /// In-place restarts per service before escalating to migration.
+    pub max_restarts: u32,
+    /// Base restart delay in cycles; doubles with each restart of the same
+    /// service (exponential backoff).
+    pub restart_backoff: u64,
+    /// Nodes kept empty as migration targets.
+    pub spare_nodes: Vec<NodeId>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            enabled: false,
+            max_restarts: 2,
+            restart_backoff: 256,
+            spare_nodes: Vec::new(),
+        }
+    }
+}
+
+/// A service under supervision.
+pub struct ServiceSpec {
+    /// Logical name clients bind to.
+    pub service: ServiceId,
+    /// Current home node (updated on migration).
+    pub node: NodeId,
+    /// Owning application.
+    pub app: AppId,
+    /// Fault policy for (re)installed instances.
+    pub policy: FaultPolicy,
+    /// Bitstream size, which prices every restart via the ICAP.
+    pub bitstream_bytes: u64,
+    /// Fresh-instance factory.
+    pub factory: AccelFactory,
+    /// Clients whose name tables must be rebound after a move.
+    pub clients: Vec<NodeId>,
+    /// In-place restarts consumed so far.
+    pub restarts_used: u32,
+}
+
+/// Where an incident's recovery is pointed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryTarget {
+    /// Restart on the same tile.
+    InPlace(NodeId),
+    /// Migrate to a spare.
+    Migrate(NodeId),
+    /// No recovery possible (restarts and spares exhausted).
+    Abandoned,
+}
+
+/// Phase of an open incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Waiting out the restart backoff.
+    Backoff { restart_at: Cycle },
+    /// Bitstream in flight.
+    Reconfiguring,
+    /// Terminal (recovered or abandoned).
+    Closed,
+}
+
+/// One detected failure of a supervised service, with its recovery timing.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// The service that failed.
+    pub service: ServiceId,
+    /// The node it was on when it failed.
+    pub node: NodeId,
+    /// Fault code from the tile's fault record (0 if none).
+    pub code: u32,
+    /// Cycle the supervisor noticed the fail-stop.
+    pub detected_at: Cycle,
+    /// Cycle service was back up and rewired; `None` while recovery is in
+    /// flight or if abandoned.
+    pub recovered_at: Option<Cycle>,
+    /// What the supervisor decided to do.
+    pub target: RecoveryTarget,
+    pub(crate) phase: Phase,
+}
+
+impl Incident {
+    /// Mean-time-to-repair contribution: cycles from detection to rewired
+    /// recovery. `None` until recovered.
+    pub fn mttr(&self) -> Option<u64> {
+        self.recovered_at.map(|r| r - self.detected_at)
+    }
+
+    /// `true` once the incident is resolved (recovered or abandoned).
+    pub fn closed(&self) -> bool {
+        self.phase == Phase::Closed
+    }
+
+    /// `true` if the supervisor gave up on this incident.
+    pub fn abandoned(&self) -> bool {
+        self.phase == Phase::Closed && self.recovered_at.is_none()
+    }
+}
+
+/// The supervisor: specs, incident log, and the escalation state machine.
+/// Stepped by [`crate::System::tick`]; holds no reference to the system
+/// (it is taken out, stepped against it, and put back).
+#[derive(Default)]
+pub struct Supervisor {
+    /// Supervised services.
+    pub(crate) specs: Vec<ServiceSpec>,
+    /// All incidents ever opened, in detection order.
+    pub(crate) incidents: Vec<Incident>,
+    /// Spares not yet consumed by a migration.
+    pub(crate) free_spares: Vec<NodeId>,
+}
+
+impl Supervisor {
+    /// The incident log.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// MTTR samples (cycles) of every recovered incident.
+    pub fn mttr_samples(&self) -> Vec<u64> {
+        self.incidents.iter().filter_map(|i| i.mttr()).collect()
+    }
+
+    /// The current home node of a supervised service.
+    pub fn service_home(&self, service: ServiceId) -> Option<NodeId> {
+        self.specs
+            .iter()
+            .find(|s| s.service == service)
+            .map(|s| s.node)
+    }
+
+    /// Open (unresolved) incident index for a service, if any.
+    pub(crate) fn open_incident(&self, service: ServiceId) -> Option<usize> {
+        self.incidents
+            .iter()
+            .position(|i| i.service == service && !i.closed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off() {
+        let cfg = SupervisorConfig::default();
+        assert!(!cfg.enabled);
+        assert!(cfg.spare_nodes.is_empty());
+        assert!(cfg.max_restarts > 0);
+    }
+
+    #[test]
+    fn incident_mttr() {
+        let mut i = Incident {
+            service: ServiceId(1),
+            node: NodeId(2),
+            code: 7,
+            detected_at: Cycle(100),
+            recovered_at: None,
+            target: RecoveryTarget::InPlace(NodeId(2)),
+            phase: Phase::Backoff {
+                restart_at: Cycle(200),
+            },
+        };
+        assert_eq!(i.mttr(), None);
+        assert!(!i.closed());
+        i.recovered_at = Some(Cycle(850));
+        i.phase = Phase::Closed;
+        assert_eq!(i.mttr(), Some(750));
+        assert!(i.closed());
+        assert!(!i.abandoned());
+    }
+}

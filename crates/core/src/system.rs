@@ -4,6 +4,9 @@ use crate::fault::{preemption_downtime, FaultAction, FaultPolicy, FaultRecord};
 use crate::memsvc::MemoryService;
 use crate::process::{AppId, OS_APP};
 use crate::reconfig::ReconfigController;
+use crate::supervisor::{
+    AccelFactory, Incident, Phase, RecoveryTarget, ServiceSpec, Supervisor, SupervisorConfig,
+};
 use crate::tile::{KernelOs, Tile};
 use apiary_accel::{Accelerator, CapEnv};
 use apiary_cap::{CapError, CapKind, CapRef, Capability, EndpointId, Rights, ServiceId};
@@ -15,7 +18,7 @@ use apiary_trace::EventKind;
 use core::fmt;
 
 /// System-level configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// NoC geometry and parameters.
     pub noc: NocConfig,
@@ -29,6 +32,8 @@ pub struct SystemConfig {
     pub mem_node: Option<NodeId>,
     /// ICAP bandwidth for partial reconfiguration, bytes/cycle.
     pub icap_bytes_per_cycle: u64,
+    /// Self-healing supervisor policy (off by default).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for SystemConfig {
@@ -40,6 +45,7 @@ impl Default for SystemConfig {
             dram: DramConfig::default(),
             mem_node: None,
             icap_bytes_per_cycle: 4,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -125,6 +131,7 @@ pub struct System {
     allocator: SegmentAllocator,
     mem_node: NodeId,
     reconfig: ReconfigController,
+    supervisor: Supervisor,
 }
 
 impl System {
@@ -137,6 +144,12 @@ impl System {
             .map(|i| Tile::new(Monitor::new(NodeId(i as u16), cfg.monitor)))
             .collect();
         let mem_node = cfg.mem_node.unwrap_or(NodeId(nodes as u16 - 1));
+        let mem_capacity = cfg.mem_capacity;
+        let dram = cfg.dram;
+        let supervisor = Supervisor {
+            free_spares: cfg.supervisor.spare_nodes.clone(),
+            ..Supervisor::default()
+        };
         let mut sys = System {
             clock: Clock::new(),
             noc,
@@ -144,11 +157,12 @@ impl System {
             allocator: SegmentAllocator::new(cfg.mem_capacity, AllocPolicy::FirstFit),
             mem_node,
             reconfig: ReconfigController::new(cfg.icap_bytes_per_cycle),
+            supervisor,
             cfg,
         };
         sys.install(
             mem_node,
-            Box::new(MemoryService::new(cfg.mem_capacity, cfg.dram)),
+            Box::new(MemoryService::new(mem_capacity, dram)),
             OS_APP,
             FaultPolicy::FailStop,
         )
@@ -488,6 +502,223 @@ impl System {
         });
     }
 
+    /// Injects a fault into a tile exactly as if its accelerator had raised
+    /// `code`: the tile's fault policy applies (preempt or fail-stop) and a
+    /// [`FaultRecord`] lands in its history. This is the chaos plane's
+    /// tile-kill primitive and an operator's big red button.
+    pub fn inject_fault(&mut self, node: NodeId, code: u32) {
+        let now = self.clock.now();
+        self.apply_fault(node, code, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Supervised services (self-healing, §4.4).
+    // ------------------------------------------------------------------
+
+    /// Installs a supervised service: instantiates `factory()` at `node`
+    /// and registers the spec so the supervisor can re-instantiate it after
+    /// a failure. Requires `supervisor.enabled` in the config to actually
+    /// heal; deploying without it just installs.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::install`].
+    pub fn deploy_service(
+        &mut self,
+        service: ServiceId,
+        node: NodeId,
+        app: AppId,
+        policy: FaultPolicy,
+        bitstream_bytes: u64,
+        factory: AccelFactory,
+    ) -> Result<(), SystemError> {
+        self.install(node, factory(), app, policy)?;
+        self.supervisor.specs.push(ServiceSpec {
+            service,
+            node,
+            app,
+            policy,
+            bitstream_bytes,
+            factory,
+            clients: Vec::new(),
+            restarts_used: 0,
+        });
+        Ok(())
+    }
+
+    /// Wires `client` to a supervised service: binds the logical name to
+    /// the service's current home in the client's name table, grants the
+    /// client a SEND capability for it, opens the reply path, and records
+    /// the client so recovery re-wires it. Returns the client's service
+    /// capability — it stays valid across restarts *and* migrations,
+    /// because service naming is late-bound (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Node or capability errors; `SlotEmpty` if the service is unknown.
+    pub fn attach_client(
+        &mut self,
+        client: NodeId,
+        service: ServiceId,
+    ) -> Result<CapRef, SystemError> {
+        let home = self
+            .supervisor
+            .service_home(service)
+            .ok_or(SystemError::BadNode(NodeId(u16::MAX)))?;
+        let cap = self.bind_service(client, service, home)?;
+        let hometile = &mut self.tiles[home.index()];
+        if hometile.monitor.find_endpoint_cap(client).is_none() {
+            hometile.monitor.install_cap(Capability::new(
+                CapKind::Endpoint(EndpointId(client.0 as u32)),
+                Rights::SEND,
+            ))?;
+        }
+        let spec = self
+            .supervisor
+            .specs
+            .iter_mut()
+            .find(|s| s.service == service)
+            .expect("home lookup succeeded above");
+        if !spec.clients.contains(&client) {
+            spec.clients.push(client);
+        }
+        Ok(cap)
+    }
+
+    /// The supervisor's incident log (detection/recovery cycles, MTTR).
+    pub fn incidents(&self) -> &[Incident] {
+        self.supervisor.incidents()
+    }
+
+    /// MTTR samples (cycles) for all recovered incidents.
+    pub fn mttr_samples(&self) -> Vec<u64> {
+        self.supervisor.mttr_samples()
+    }
+
+    /// Current home node of a supervised service.
+    pub fn service_home(&self, service: ServiceId) -> Option<NodeId> {
+        self.supervisor.service_home(service)
+    }
+
+    /// One supervisor pass: detect fail-stopped services, escalate through
+    /// the restart/migrate ladder, and finish recoveries whose bitstream
+    /// completed. Runs at the end of every tick when enabled.
+    fn step_supervisor(&mut self, now: Cycle) {
+        let mut sup = std::mem::take(&mut self.supervisor);
+        for si in 0..sup.specs.len() {
+            let service = sup.specs[si].service;
+            match sup.open_incident(service) {
+                None => {
+                    // Detection: the service's home tile fail-stopped. Once
+                    // an incident was abandoned the service stays down —
+                    // re-detecting it every cycle would flood the log.
+                    let node = sup.specs[si].node;
+                    if self.tiles[node.index()].monitor.state() != TileState::FailStopped
+                        || self.reconfig.in_progress(node)
+                        || sup
+                            .incidents
+                            .iter()
+                            .rev()
+                            .find(|i| i.service == service)
+                            .is_some_and(|i| i.abandoned())
+                    {
+                        continue;
+                    }
+                    let spec = &sup.specs[si];
+                    let code = self.tiles[node.index()].faults.last().map_or(0, |f| f.code);
+                    let backoff = self
+                        .cfg
+                        .supervisor
+                        .restart_backoff
+                        .saturating_mul(1u64 << spec.restarts_used.min(16));
+                    let target = if spec.restarts_used < self.cfg.supervisor.max_restarts {
+                        RecoveryTarget::InPlace(node)
+                    } else if let Some(spare) = sup.free_spares.first().copied() {
+                        sup.free_spares.remove(0);
+                        RecoveryTarget::Migrate(spare)
+                    } else {
+                        RecoveryTarget::Abandoned
+                    };
+                    let phase = if target == RecoveryTarget::Abandoned {
+                        Phase::Closed
+                    } else {
+                        Phase::Backoff {
+                            restart_at: now + backoff,
+                        }
+                    };
+                    sup.incidents.push(Incident {
+                        service,
+                        node,
+                        code,
+                        detected_at: now,
+                        recovered_at: None,
+                        target,
+                        phase,
+                    });
+                }
+                Some(ii) => {
+                    let (target, phase) = (sup.incidents[ii].target, sup.incidents[ii].phase);
+                    let dst = match target {
+                        RecoveryTarget::InPlace(n) | RecoveryTarget::Migrate(n) => n,
+                        RecoveryTarget::Abandoned => continue,
+                    };
+                    match phase {
+                        Phase::Backoff { restart_at } if now >= restart_at => {
+                            let spec = &mut sup.specs[si];
+                            let accel = (spec.factory)();
+                            // A busy ICAP just pushes the restart out.
+                            match self.reconfigure(
+                                dst,
+                                accel,
+                                spec.app,
+                                spec.policy,
+                                spec.bitstream_bytes,
+                            ) {
+                                Ok(_) => {
+                                    spec.restarts_used += 1;
+                                    sup.incidents[ii].phase = Phase::Reconfiguring;
+                                }
+                                Err(_) => { /* retry next tick */ }
+                            }
+                        }
+                        Phase::Reconfiguring if !self.reconfig.in_progress(dst) => {
+                            // Bitstream done; the tile came back reset this
+                            // tick. Rewire clients and close the incident.
+                            let spec = &mut sup.specs[si];
+                            let old = spec.node;
+                            if old != dst {
+                                // Decommission the dead tile: wipe every
+                                // capability and name binding, then seal it
+                                // again so no stale authority survives.
+                                let dead = &mut self.tiles[old.index()];
+                                dead.monitor.reset(now);
+                                dead.monitor.fail_stop(now);
+                                dead.accel = None;
+                                dead.app = None;
+                                dead.env = CapEnv::new();
+                            }
+                            spec.node = dst;
+                            for &c in &spec.clients {
+                                self.tiles[c.index()].monitor.bind_service(service.0, dst);
+                                let home = &mut self.tiles[dst.index()];
+                                if home.monitor.find_endpoint_cap(c).is_none() {
+                                    let _ = home.monitor.install_cap(Capability::new(
+                                        CapKind::Endpoint(EndpointId(c.0 as u32)),
+                                        Rights::SEND,
+                                    ));
+                                }
+                            }
+                            sup.incidents[ii].recovered_at = Some(now);
+                            sup.incidents[ii].phase = Phase::Closed;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.supervisor = sup;
+    }
+
     /// Manually preempts a tile: saves and immediately restores the
     /// accelerator's state, charging the save/restore downtime. Returns the
     /// snapshot size in bytes.
@@ -609,6 +840,11 @@ impl System {
         // Outbound traffic into the NoC.
         for tile in &mut self.tiles {
             tile.monitor.pump_out(&mut self.noc, now);
+        }
+
+        // Self-healing: detect fail-stopped services and drive recovery.
+        if self.cfg.supervisor.enabled {
+            self.step_supervisor(now);
         }
     }
 

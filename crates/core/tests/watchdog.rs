@@ -70,6 +70,35 @@ fn silent_hang_is_detected_and_fail_stopped() {
 }
 
 #[test]
+fn preempt_policy_falls_back_to_fail_stop_for_non_preemptible_hang() {
+    // HangAccel externalizes no state (`save()` is None), so the Preempt
+    // policy cannot swap its context out: the kernel must fall back to
+    // fail-stop rather than leave the wedged tile running.
+    let (mut sys, cap, server) = watchdog_system(FaultPolicy::Preempt);
+    for tag in 0..2 {
+        send(&mut sys, cap, tag);
+        sys.run_until_idle(100_000);
+        assert!(sys.tile_mut(NodeId(0)).monitor.recv().is_some());
+    }
+    send(&mut sys, cap, 2);
+    sys.run(5_000);
+    assert_eq!(sys.tile(server).monitor.state(), TileState::FailStopped);
+    let rec = sys.tile(server).faults[0];
+    assert_eq!(rec.code, WATCHDOG_FAULT);
+    assert_eq!(
+        rec.action,
+        FaultAction::FailStopped,
+        "non-preemptible hang must degrade to fail-stop, not stay wedged"
+    );
+    // And the failure is visible to clients, exactly as under FailStop.
+    send(&mut sys, cap, 3);
+    sys.run_until_idle(100_000);
+    let d = sys.tile_mut(NodeId(0)).monitor.recv().expect("error reply");
+    assert_eq!(d.msg.kind, wire::KIND_ERROR);
+    assert_eq!(d.msg.payload[0], wire::err::TARGET_FAILED);
+}
+
+#[test]
 fn watchdog_does_not_fire_on_healthy_tiles() {
     let client = NodeId(0);
     let server = NodeId(5);

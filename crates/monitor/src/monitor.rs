@@ -459,6 +459,14 @@ impl Monitor {
                 Ok(_) => {
                     self.outbox.pop_front();
                 }
+                // An unreachable or invalid destination never heals by
+                // waiting; drop the message instead of wedging the outbox
+                // behind it.
+                Err(apiary_noc::InjectError::Unreachable)
+                | Err(apiary_noc::InjectError::BadDestination) => {
+                    self.outbox.pop_front();
+                    self.stats.dropped += 1;
+                }
                 Err(_) => break,
             }
         }

@@ -226,6 +226,96 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_cumulative_acks_are_idempotent() {
+        let mut tx = GoBackNSender::new(4, 100);
+        for i in 0..3u8 {
+            assert!(tx.offer(vec![i], Cycle(0)));
+        }
+        tx.poll(Cycle(0));
+        tx.on_ack(Ack { next: 2 }, Cycle(10));
+        assert_eq!(tx.outstanding(), 1);
+        // The same ack again (go-back-N receivers repeat cumulative acks
+        // for every out-of-order arrival) must change nothing.
+        tx.on_ack(Ack { next: 2 }, Cycle(11));
+        tx.on_ack(Ack { next: 2 }, Cycle(12));
+        assert_eq!(tx.outstanding(), 1);
+        // A stale (lower) ack must not regress the base either.
+        tx.on_ack(Ack { next: 1 }, Cycle(13));
+        assert_eq!(tx.outstanding(), 1);
+        tx.on_ack(Ack { next: 3 }, Cycle(14));
+        assert!(tx.idle());
+    }
+
+    #[test]
+    fn timer_restarts_after_retransmission_burst() {
+        let mut tx = GoBackNSender::new(4, 50);
+        tx.offer(vec![1], Cycle(0));
+        tx.offer(vec![2], Cycle(0));
+        tx.poll(Cycle(0));
+        // First timeout at 50: the whole window is retransmitted and the
+        // timer restarts from the retransmission, not from the old deadline.
+        assert_eq!(tx.poll(Cycle(50)).len(), 2);
+        assert!(tx.poll(Cycle(99)).is_empty(), "new deadline is 100");
+        assert_eq!(tx.poll(Cycle(100)).len(), 2, "second burst on schedule");
+        assert_eq!(tx.retransmissions, 4);
+        // An ack mid-flight rebases the timer again.
+        tx.on_ack(Ack { next: 1 }, Cycle(120));
+        assert!(tx.poll(Cycle(150)).is_empty(), "deadline moved to 170");
+        assert_eq!(tx.poll(Cycle(170)).len(), 1, "only the unacked packet");
+    }
+
+    #[test]
+    fn window_full_rejection_then_drain_resumes_in_order() {
+        let mut tx = GoBackNSender::new(2, 100);
+        assert!(tx.offer(vec![0], Cycle(0)));
+        assert!(tx.offer(vec![1], Cycle(0)));
+        // Rejections while full: no sequence numbers are burned.
+        assert!(!tx.offer(vec![2], Cycle(1)));
+        assert!(!tx.offer(vec![2], Cycle(2)));
+        assert_eq!(tx.outstanding(), 2);
+        // Drain the window completely, then refill.
+        tx.poll(Cycle(2));
+        tx.on_ack(Ack { next: 2 }, Cycle(10));
+        assert!(tx.idle());
+        assert!(tx.offer(vec![2], Cycle(11)));
+        let pkts = tx.poll(Cycle(11));
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].seq, 2, "rejected offers did not consume seqs");
+        let mut rx = GoBackNReceiver::new();
+        rx.on_packet(Packet {
+            seq: 0,
+            payload: vec![0],
+        });
+        rx.on_packet(Packet {
+            seq: 1,
+            payload: vec![1],
+        });
+        let (data, ack) = rx.on_packet(pkts[0].clone());
+        assert_eq!(data, Some(vec![2]));
+        assert_eq!(ack, Ack { next: 3 });
+    }
+
+    #[test]
+    fn ack_beyond_next_seq_does_not_panic_or_corrupt() {
+        let mut tx = GoBackNSender::new(4, 100);
+        tx.offer(vec![1], Cycle(0));
+        tx.offer(vec![2], Cycle(0));
+        // A corrupted or malicious ack far beyond anything sent: the sender
+        // clamps to what it actually transmitted.
+        tx.on_ack(Ack { next: u64::MAX }, Cycle(5));
+        assert!(tx.unacked.is_empty());
+        assert_eq!(tx.base, tx.next_seq, "base clamps to next_seq");
+        // The sender keeps working afterwards.
+        assert!(tx.offer(vec![3], Cycle(6)));
+        let pkts = tx.poll(Cycle(6));
+        assert_eq!(pkts.last().expect("sent").seq, 2);
+        // Also safe on a sender that never sent anything.
+        let mut fresh = GoBackNSender::new(2, 100);
+        fresh.on_ack(Ack { next: 7 }, Cycle(0));
+        assert!(fresh.idle());
+    }
+
+    #[test]
     fn survives_heavy_loss_both_directions() {
         let mut rng = SimRng::new(99);
         let mut tx = GoBackNSender::new(8, 200);

@@ -31,8 +31,133 @@ pub struct ClientStats {
     pub completed: u64,
     /// Error responses received.
     pub errors: u64,
+    /// Retransmissions scheduled by the retry policy.
+    pub retries: u64,
+    /// Requests that exhausted their retries.
+    pub gave_up: u64,
+    /// Open-loop arrivals shed by an open circuit breaker.
+    pub shed: u64,
     /// Request-to-response round-trip latency (cycles).
     pub rtt: Histogram,
+}
+
+/// Client-side retry policy: failed requests are reissued with
+/// exponentially growing, jittered backoff. Off by default — a plain
+/// [`RequestGen`] observes failures without reacting to them.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries per request beyond the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry (cycles); doubles per attempt.
+    pub base_backoff: u64,
+    /// Backoff ceiling (cycles).
+    pub max_backoff: u64,
+    /// Uniform random extra delay in `[0, jitter]` cycles, decorrelating
+    /// retry storms across clients.
+    pub jitter: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: 2_000,
+            max_backoff: 64_000,
+            jitter: 1_000,
+        }
+    }
+}
+
+/// Circuit-breaker configuration: after `failure_threshold` consecutive
+/// errors the client stops sending for `cooldown` cycles, then probes with
+/// a single request (half-open) before resuming.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Cycles to back off while open.
+    pub cooldown: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: 20_000,
+        }
+    }
+}
+
+/// Circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows normally.
+    Closed,
+    /// Tripped: no traffic until the cooldown elapses.
+    Open,
+    /// Cooldown over: one probe request is allowed through.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone)]
+struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: Cycle,
+    probe_in_flight: bool,
+}
+
+impl Breaker {
+    fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: Cycle::ZERO,
+            probe_in_flight: false,
+        }
+    }
+
+    /// Moves Open -> HalfOpen once the cooldown has elapsed.
+    fn refresh(&mut self, now: Cycle) {
+        if self.state == BreakerState::Open && now >= self.open_until {
+            self.state = BreakerState::HalfOpen;
+            self.probe_in_flight = false;
+        }
+    }
+
+    /// May a request be issued at `now`?
+    fn admits(&self, _now: Cycle) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => !self.probe_in_flight,
+        }
+    }
+
+    fn on_issue(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.probe_in_flight = true;
+        }
+    }
+
+    fn on_outcome(&mut self, is_error: bool, now: Cycle) {
+        if is_error {
+            self.consecutive_failures += 1;
+            let trip = self.state == BreakerState::HalfOpen
+                || self.consecutive_failures >= self.cfg.failure_threshold;
+            if trip {
+                self.state = BreakerState::Open;
+                self.open_until = now + self.cfg.cooldown;
+                self.probe_in_flight = false;
+            }
+        } else {
+            self.consecutive_failures = 0;
+            self.state = BreakerState::Closed;
+            self.probe_in_flight = false;
+        }
+    }
 }
 
 /// A request generator on the far side of the wire.
@@ -56,6 +181,13 @@ pub struct RequestGen {
     pub stats: ClientStats,
     /// Request send times by tag.
     sent_at: std::collections::HashMap<u64, Cycle>,
+    retry: Option<RetryPolicy>,
+    /// Retry attempts consumed, by tag.
+    attempts: std::collections::HashMap<u64, u32>,
+    /// Scheduled retries `(due, tag)`, kept sorted by insertion (backoffs
+    /// are monotonic per tag, and poll scans the whole queue).
+    pending_retries: Vec<(Cycle, u64)>,
+    breaker: Option<Breaker>,
 }
 
 impl RequestGen {
@@ -79,6 +211,10 @@ impl RequestGen {
             next_tag: 0,
             stats: ClientStats::default(),
             sent_at: std::collections::HashMap::new(),
+            retry: None,
+            attempts: std::collections::HashMap::new(),
+            pending_retries: Vec::new(),
+            breaker: None,
         }
     }
 
@@ -88,14 +224,55 @@ impl RequestGen {
         self
     }
 
-    /// Returns the tags of requests to issue at `now`.
+    /// Enables client-side retries with exponential backoff and jitter.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> RequestGen {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Arms a circuit breaker in front of the generator.
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> RequestGen {
+        self.breaker = Some(Breaker::new(cfg));
+        self
+    }
+
+    /// Current breaker state (`None` if no breaker is armed).
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state)
+    }
+
+    /// Returns the tags of requests to issue at `now` (new arrivals plus
+    /// any due retries), filtered through the circuit breaker if armed.
     pub fn poll(&mut self, now: Cycle) -> Vec<u64> {
+        if let Some(b) = &mut self.breaker {
+            b.refresh(now);
+        }
         let mut out = Vec::new();
+        // Due retries go first: they are older traffic.
+        let mut i = 0;
+        while i < self.pending_retries.len() {
+            let (due, tag) = self.pending_retries[i];
+            if due <= now && self.admits(now) {
+                self.pending_retries.remove(i);
+                if let Some(b) = &mut self.breaker {
+                    b.on_issue();
+                }
+                out.push(tag);
+            } else {
+                i += 1;
+            }
+        }
         match self.workload {
             Workload::Open { mean_interarrival } => {
                 while self.next_fire <= now && self.stats.issued < self.max_requests {
-                    out.push(self.issue(now));
                     let gap = self.rng.gen_exp(mean_interarrival).max(1.0) as u64;
+                    if self.admits(now) {
+                        out.push(self.issue(now));
+                    } else {
+                        // Open loop: the arrival happened regardless; an
+                        // open breaker sheds it.
+                        self.stats.shed += 1;
+                    }
                     self.next_fire += gap;
                 }
             }
@@ -103,6 +280,7 @@ impl RequestGen {
                 while self.in_flight < outstanding
                     && self.next_fire <= now
                     && self.stats.issued < self.max_requests
+                    && self.admits(now)
                 {
                     out.push(self.issue(now));
                 }
@@ -111,27 +289,64 @@ impl RequestGen {
         out
     }
 
+    fn admits(&self, now: Cycle) -> bool {
+        self.breaker.as_ref().is_none_or(|b| b.admits(now))
+    }
+
     fn issue(&mut self, now: Cycle) -> u64 {
         let tag = (self.client_id as u64) << 32 | self.next_tag;
         self.next_tag += 1;
         self.in_flight += 1;
         self.stats.issued += 1;
         self.sent_at.insert(tag, now);
+        if let Some(b) = &mut self.breaker {
+            b.on_issue();
+        }
         tag
     }
 
-    /// Records a response arriving at the client at `now`.
+    /// Records a response arriving at the client at `now`. With a retry
+    /// policy armed, an error response schedules a reissue of the same tag
+    /// (after jittered exponential backoff) instead of completing it, until
+    /// the retries run out.
     pub fn complete(&mut self, tag: u64, now: Cycle, is_error: bool) {
-        if let Some(sent) = self.sent_at.remove(&tag) {
-            self.in_flight = self.in_flight.saturating_sub(1);
-            self.stats.completed += 1;
-            if is_error {
-                self.stats.errors += 1;
+        if !self.sent_at.contains_key(&tag) {
+            return;
+        }
+        if let Some(b) = &mut self.breaker {
+            b.on_outcome(is_error, now);
+        }
+        if is_error {
+            if let Some(policy) = self.retry {
+                let used = *self.attempts.get(&tag).unwrap_or(&0);
+                if used < policy.max_retries {
+                    self.attempts.insert(tag, used + 1);
+                    let backoff = policy
+                        .base_backoff
+                        .saturating_mul(1u64 << used.min(16))
+                        .min(policy.max_backoff);
+                    let jitter = if policy.jitter > 0 {
+                        self.rng.gen_range(policy.jitter + 1)
+                    } else {
+                        0
+                    };
+                    self.pending_retries.push((now + backoff + jitter, tag));
+                    self.stats.retries += 1;
+                    return; // still in flight; sent_at keeps the first send.
+                }
+                self.stats.gave_up += 1;
             }
-            self.stats.rtt.record(now - sent);
-            if let Workload::Closed { think_cycles, .. } = self.workload {
-                self.next_fire = now + think_cycles;
-            }
+        }
+        let sent = self.sent_at.remove(&tag).expect("checked above");
+        self.attempts.remove(&tag);
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.stats.completed += 1;
+        if is_error {
+            self.stats.errors += 1;
+        }
+        self.stats.rtt.record(now - sent);
+        if let Workload::Closed { think_cycles, .. } = self.workload {
+            self.next_fire = now + think_cycles;
         }
     }
 
@@ -264,6 +479,178 @@ mod tests {
         );
         g.complete(999, Cycle(5), false);
         assert_eq!(g.stats.completed, 0);
+    }
+
+    fn retry_gen(max_retries: u32) -> RequestGen {
+        RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Closed {
+                outstanding: 1,
+                think_cycles: 0,
+            },
+            5,
+        )
+        .with_retry(RetryPolicy {
+            max_retries,
+            base_backoff: 100,
+            max_backoff: 1_000,
+            jitter: 0,
+        })
+    }
+
+    #[test]
+    fn error_schedules_backoff_retry_of_same_tag() {
+        let mut g = retry_gen(2);
+        let t = g.poll(Cycle(0));
+        assert_eq!(t.len(), 1);
+        g.complete(t[0], Cycle(10), true);
+        // Not completed: the request is pending its retry.
+        assert_eq!(g.stats.completed, 0);
+        assert_eq!(g.stats.retries, 1);
+        assert_eq!(g.in_flight(), 1);
+        assert!(g.poll(Cycle(50)).is_empty(), "backoff not elapsed");
+        let r = g.poll(Cycle(110));
+        assert_eq!(r, t, "the same tag is reissued");
+        // Success on the retry completes it, RTT from first send.
+        g.complete(t[0], Cycle(150), false);
+        assert_eq!(g.stats.completed, 1);
+        assert_eq!(g.stats.errors, 0);
+        assert_eq!(g.stats.rtt.max(), 150);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_gives_up() {
+        let mut g = retry_gen(2);
+        let t = g.poll(Cycle(0))[0];
+        g.complete(t, Cycle(0), true); // retry 1 due at 100
+        assert_eq!(g.poll(Cycle(100)), vec![t]);
+        g.complete(t, Cycle(100), true); // retry 2 due at 100 + 200
+        assert!(g.poll(Cycle(250)).is_empty());
+        assert_eq!(g.poll(Cycle(300)), vec![t]);
+        g.complete(t, Cycle(300), true); // retries exhausted
+        assert_eq!(g.stats.gave_up, 1);
+        assert_eq!(g.stats.errors, 1);
+        assert_eq!(g.stats.completed, 1);
+        assert_eq!(g.in_flight(), 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_half_open() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Closed {
+                outstanding: 1,
+                think_cycles: 0,
+            },
+            5,
+        )
+        .with_breaker(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 1_000,
+        });
+        let mut now = 0u64;
+        for _ in 0..2 {
+            let t = g.poll(Cycle(now));
+            assert_eq!(t.len(), 1);
+            g.complete(t[0], Cycle(now + 5), true);
+            now += 10;
+        }
+        assert_eq!(g.breaker_state(), Some(BreakerState::Open));
+        assert!(g.poll(Cycle(now)).is_empty(), "open breaker blocks");
+        // Cooldown elapses: exactly one probe allowed.
+        now += 1_000;
+        let probe = g.poll(Cycle(now));
+        assert_eq!(probe.len(), 1);
+        assert_eq!(g.breaker_state(), Some(BreakerState::HalfOpen));
+        assert!(g.poll(Cycle(now)).is_empty(), "one probe at a time");
+        // Probe succeeds: closed again, traffic resumes.
+        g.complete(probe[0], Cycle(now + 5), false);
+        assert_eq!(g.breaker_state(), Some(BreakerState::Closed));
+        assert_eq!(g.poll(Cycle(now + 10)).len(), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_breaker() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Closed {
+                outstanding: 1,
+                think_cycles: 0,
+            },
+            5,
+        )
+        .with_breaker(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: 100,
+        });
+        let t = g.poll(Cycle(0));
+        g.complete(t[0], Cycle(1), true);
+        assert_eq!(g.breaker_state(), Some(BreakerState::Open));
+        let probe = g.poll(Cycle(101));
+        assert_eq!(probe.len(), 1);
+        g.complete(probe[0], Cycle(105), true);
+        assert_eq!(g.breaker_state(), Some(BreakerState::Open));
+        assert!(g.poll(Cycle(150)).is_empty());
+    }
+
+    #[test]
+    fn open_loop_sheds_arrivals_while_open() {
+        let mut g = RequestGen::new(
+            1,
+            80,
+            64,
+            Workload::Open {
+                mean_interarrival: 10.0,
+            },
+            3,
+        )
+        .with_breaker(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: 100_000,
+        });
+        let t = g.poll(Cycle(0));
+        assert!(!t.is_empty());
+        g.complete(t[0], Cycle(1), true);
+        let mut issued = 0;
+        for c in 2..2_000u64 {
+            issued += g.poll(Cycle(c)).len();
+        }
+        assert_eq!(issued, 0, "open breaker issues nothing");
+        assert!(g.stats.shed > 100, "arrivals kept coming and were shed");
+    }
+
+    #[test]
+    fn retries_and_breaker_stay_deterministic() {
+        let run = || {
+            let mut g = RequestGen::new(
+                1,
+                80,
+                64,
+                Workload::Open {
+                    mean_interarrival: 50.0,
+                },
+                77,
+            )
+            .with_retry(RetryPolicy::default())
+            .with_breaker(BreakerConfig::default());
+            let mut trace = Vec::new();
+            for c in 0..50_000u64 {
+                for tag in g.poll(Cycle(c)) {
+                    trace.push((c, tag));
+                    // Every 3rd request errors on arrival + 10.
+                    let fail = tag % 3 == 0;
+                    g.complete(tag, Cycle(c + 10), fail);
+                }
+            }
+            (trace, g.stats.retries, g.stats.shed)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

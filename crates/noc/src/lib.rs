@@ -21,12 +21,14 @@
 //! flits and removing the per-hop pipeline bubble.
 
 pub mod config;
+pub mod fault;
 pub mod network;
 pub mod packet;
 pub mod router;
 pub mod topology;
 
 pub use config::NocConfig;
+pub use fault::{FaultEvent, FaultPlane, FaultPlaneConfig, FaultPlaneStats};
 pub use network::{InjectError, Noc, NocStats};
 pub use packet::{Delivered, Message, PacketId, TrafficClass};
 pub use topology::{Coord, Direction, NodeId, Port};

@@ -2,11 +2,12 @@
 //! ejection.
 
 use crate::config::NocConfig;
+use crate::fault::{FaultEvent, FaultPlane};
 use crate::packet::{packetize, Delivered, Flit, FlitKind, Message, PacketId};
 use crate::router::{LockOwner, Router, PORTS};
 use crate::topology::{Direction, Mesh, NodeId, Port};
 use apiary_sim::{Cycle, Histogram};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Why an injection was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +18,8 @@ pub enum InjectError {
     BadDestination,
     /// The message's `src` field does not match the injecting node.
     SrcMismatch,
+    /// Permanently dead links leave no live route to the destination.
+    Unreachable,
 }
 
 impl core::fmt::Display for InjectError {
@@ -25,6 +28,7 @@ impl core::fmt::Display for InjectError {
             InjectError::QueueFull => write!(f, "injection queue full"),
             InjectError::BadDestination => write!(f, "destination outside mesh"),
             InjectError::SrcMismatch => write!(f, "message src does not match injecting node"),
+            InjectError::Unreachable => write!(f, "no live route to destination"),
         }
     }
 }
@@ -48,6 +52,20 @@ pub struct NocStats {
     pub flits_ejected: u64,
     /// Cycles simulated.
     pub cycles: u64,
+    /// Flits whose checksum failed verification at the ejecting node.
+    pub corrupted_flits: u64,
+    /// Packets dropped because at least one of their flits arrived corrupt.
+    pub dropped_corrupt: u64,
+    /// Packets dropped or refused because no live route to the destination
+    /// exists (after permanent link deaths).
+    pub dropped_unreachable: u64,
+    /// Packets flushed by fault handling: rerouted mid-stream after a link
+    /// death, or purged by the no-progress valve.
+    pub dropped_flushed: u64,
+    /// Link fault events applied (transient and permanent).
+    pub link_faults: u64,
+    /// Router stall events applied.
+    pub router_stalls: u64,
 }
 
 impl NocStats {
@@ -58,6 +76,11 @@ impl NocStats {
         } else {
             self.flits_ejected as f64 / self.cycles as f64
         }
+    }
+
+    /// Packets lost to faults, all causes.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_corrupt + self.dropped_unreachable + self.dropped_flushed
     }
 }
 
@@ -71,7 +94,7 @@ struct Move {
     out_port: usize,
 }
 
-const DIRS: [Direction; 4] = [
+pub(crate) const DIRS: [Direction; 4] = [
     Direction::North,
     Direction::South,
     Direction::East,
@@ -126,7 +149,38 @@ pub struct Noc {
     /// Flits sent per outgoing link, indexed `[node][dir]` — the raw data
     /// behind [`Noc::link_utilization`].
     link_flits: Vec<[u64; 4]>,
+    /// Routing table: `routes[node][dst]` is the output port index, or
+    /// [`UNREACHABLE`]. Starts as pure XY and is recomputed (BFS detours,
+    /// XY preferred where still live) when a link dies permanently.
+    routes: Vec<Vec<u8>>,
+    /// Permanently dead outgoing links, `[node][dir]`.
+    dead_links: Vec<[bool; 4]>,
+    /// Transient outages: the cycle (exclusive) until which the link
+    /// `[node][dir]` corrupts crossing flits.
+    link_down_until: Vec<[u64; 4]>,
+    /// Router stalls: the cycle (exclusive) until which node `i` allocates
+    /// no flits.
+    stall_until: Vec<u64>,
+    /// Packets detected corrupt at the destination, awaiting their tail so
+    /// the whole packet can be dropped.
+    rx_poisoned: HashSet<u64>,
+    /// Optional chaos plane driving random fault injection.
+    fault_plane: Option<FaultPlane>,
+    /// `stats.cycles` value at which a flit last moved anywhere; feeds the
+    /// no-progress valve that guarantees injected faults never deadlock the
+    /// network.
+    last_progress: u64,
 }
+
+/// Marker in [`Noc::routes`] for "no live path".
+const UNREACHABLE: u8 = u8::MAX;
+
+/// Cycles without any flit movement (while packets are in flight) after
+/// which the no-progress valve purges the network. Detour routing after a
+/// permanent link death is not provably deadlock-free, so this valve bounds
+/// the damage: stuck packets are dropped and counted instead of hanging the
+/// simulation. Fault-free XY routing never triggers it.
+const DEADLOCK_WINDOW: u64 = 4096;
 
 impl Noc {
     /// Builds a NoC from a validated configuration.
@@ -134,6 +188,13 @@ impl Noc {
         cfg.validate();
         let mesh = Mesh::new(cfg.width, cfg.height);
         let n = mesh.nodes();
+        let routes = (0..n)
+            .map(|src| {
+                (0..n)
+                    .map(|dst| mesh.route(NodeId(src as u16), NodeId(dst as u16)).index() as u8)
+                    .collect()
+            })
+            .collect();
         Noc {
             mesh,
             now: Cycle::ZERO,
@@ -151,6 +212,13 @@ impl Noc {
             in_flight: 0,
             stats: NocStats::default(),
             link_flits: (0..n).map(|_| [0; 4]).collect(),
+            routes,
+            dead_links: vec![[false; 4]; n],
+            link_down_until: vec![[0; 4]; n],
+            stall_until: vec![0; n],
+            rx_poisoned: HashSet::new(),
+            fault_plane: None,
+            last_progress: 0,
             cfg,
         }
     }
@@ -201,6 +269,10 @@ impl Noc {
         }
         if msg.src != from || !self.mesh.contains(from) {
             return Err(InjectError::SrcMismatch);
+        }
+        if self.routes[from.index()][msg.dst.index()] == UNREACHABLE {
+            self.stats.dropped_unreachable += 1;
+            return Err(InjectError::Unreachable);
         }
         let vc = msg.class.vc();
         if self.nic[from.index()][vc].len() >= self.cfg.inject_queue {
@@ -283,14 +355,338 @@ impl Noc {
         self.cfg.vc_buffer.saturating_sub(occupied + inflight)
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection (the chaos plane's levers, also usable directly).
+    // ------------------------------------------------------------------
+
+    /// Installs a chaos plane; its schedule and random draws are applied
+    /// at the start of every [`Noc::tick`].
+    pub fn install_fault_plane(&mut self, plane: FaultPlane) {
+        self.fault_plane = Some(plane);
+    }
+
+    /// The installed chaos plane, if any.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.fault_plane.as_ref()
+    }
+
+    /// Whether a live route from `from` to `to` exists.
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.mesh.contains(from)
+            && self.mesh.contains(to)
+            && self.routes[from.index()][to.index()] != UNREACHABLE
+    }
+
+    /// Permanently kills the outgoing link `node -> dir`: flits currently
+    /// crossing it are corrupted, routing detours around it, and packets
+    /// whose path change would split them mid-stream are flushed (counted
+    /// in [`NocStats::dropped_flushed`] / `dropped_unreachable`). Returns
+    /// `false` if no such link exists (mesh edge).
+    pub fn kill_link(&mut self, node: NodeId, dir: Direction) -> bool {
+        if self.mesh.neighbor(node, dir).is_none() {
+            return false;
+        }
+        let di = dir_index(dir);
+        if self.dead_links[node.index()][di] {
+            return true;
+        }
+        self.dead_links[node.index()][di] = true;
+        self.stats.link_faults += 1;
+        for (_, flit) in self.links[node.index()][di].iter_mut() {
+            flit.corrupt();
+        }
+        let old = std::mem::take(&mut self.routes);
+        self.recompute_routes();
+        self.flush_rerouted(&old);
+        true
+    }
+
+    /// Starts a transient outage on the outgoing link `node -> dir`: flits
+    /// entering it during the next `cycles` cycles are corrupted (and the
+    /// packets dropped at the destination). Routing is unchanged. Returns
+    /// `false` if no such link exists.
+    pub fn fail_link_for(&mut self, node: NodeId, dir: Direction, cycles: u64) -> bool {
+        if self.mesh.neighbor(node, dir).is_none() {
+            return false;
+        }
+        let di = dir_index(dir);
+        let until = self.now.as_u64() + cycles;
+        let slot = &mut self.link_down_until[node.index()][di];
+        *slot = (*slot).max(until);
+        self.stats.link_faults += 1;
+        for (_, flit) in self.links[node.index()][di].iter_mut() {
+            flit.corrupt();
+        }
+        true
+    }
+
+    /// Freezes `node`'s switch allocator for `cycles` cycles: buffered
+    /// flits stay put, arrivals still buffer (pure added delay).
+    pub fn stall_router(&mut self, node: NodeId, cycles: u64) {
+        let until = self.now.as_u64() + cycles;
+        let slot = &mut self.stall_until[node.index()];
+        *slot = (*slot).max(until);
+        self.stats.router_stalls += 1;
+    }
+
+    fn apply_fault_event(&mut self, ev: FaultEvent) {
+        match ev {
+            FaultEvent::LinkDown {
+                node,
+                dir,
+                heal_after: None,
+            } => {
+                self.kill_link(node, dir);
+            }
+            FaultEvent::LinkDown {
+                node,
+                dir,
+                heal_after: Some(cycles),
+            } => {
+                self.fail_link_for(node, dir, cycles);
+            }
+            FaultEvent::RouterStall { node, cycles } => self.stall_router(node, cycles),
+        }
+    }
+
+    /// Rebuilds `routes` around `dead_links`: BFS shortest paths, keeping
+    /// the XY next hop wherever it still lies on a shortest live path so
+    /// fault-free pairs keep their original routes.
+    fn recompute_routes(&mut self) {
+        let n = self.mesh.nodes();
+        self.routes = vec![vec![UNREACHABLE; n]; n];
+        for dst in 0..n {
+            // BFS from the destination over *reversed* live links.
+            let mut dist = vec![u32::MAX; n];
+            dist[dst] = 0;
+            let mut q = VecDeque::from([dst]);
+            while let Some(v) = q.pop_front() {
+                for d in DIRS {
+                    let Some(u) = self.mesh.neighbor(NodeId(v as u16), d) else {
+                        continue;
+                    };
+                    let u = u.index();
+                    // The link u -> v leaves u in the opposite direction.
+                    if self.dead_links[u][dir_index(d.opposite())] || dist[u] != u32::MAX {
+                        continue;
+                    }
+                    dist[u] = dist[v] + 1;
+                    q.push_back(u);
+                }
+            }
+            for src in 0..n {
+                if src == dst {
+                    self.routes[src][dst] = Port::Local.index() as u8;
+                    continue;
+                }
+                if dist[src] == u32::MAX {
+                    continue; // Stays UNREACHABLE.
+                }
+                let mut chosen: Option<Port> = None;
+                let xy = self.mesh.route(NodeId(src as u16), NodeId(dst as u16));
+                if let Port::Dir(d) = xy {
+                    let nb = self
+                        .mesh
+                        .neighbor(NodeId(src as u16), d)
+                        .expect("XY routes along existing links");
+                    if !self.dead_links[src][dir_index(d)] && dist[nb.index()] == dist[src] - 1 {
+                        chosen = Some(xy);
+                    }
+                }
+                if chosen.is_none() {
+                    for d in DIRS {
+                        let Some(nb) = self.mesh.neighbor(NodeId(src as u16), d) else {
+                            continue;
+                        };
+                        if !self.dead_links[src][dir_index(d)] && dist[nb.index()] == dist[src] - 1
+                        {
+                            chosen = Some(Port::Dir(d));
+                            break;
+                        }
+                    }
+                }
+                self.routes[src][dst] = chosen
+                    .expect("a reachable node has a live next hop")
+                    .index() as u8;
+            }
+        }
+    }
+
+    /// After a routing change, flushes packets the change would tear in
+    /// half: any packet with a flit buffered (or in flight toward) a node
+    /// whose next hop for that destination changed, and partially streamed
+    /// NIC packets at sources whose route changed.
+    fn flush_rerouted(&mut self, old_routes: &[Vec<u8>]) {
+        // (packet, destination now unreachable?) for every affected flit.
+        let mut doomed: Vec<(u64, bool)> = Vec::new();
+        let note =
+            |routes: &Vec<Vec<u8>>, at: usize, flit: &Flit, doomed: &mut Vec<(u64, bool)>| {
+                let new = routes[at][flit.dst.index()];
+                if new != old_routes[at][flit.dst.index()] {
+                    doomed.push((flit.packet.0, new == UNREACHABLE));
+                }
+            };
+        for (node, router) in self.routers.iter().enumerate() {
+            for port in &router.inputs {
+                for fifo in &port.fifos {
+                    for flit in fifo {
+                        note(&self.routes, node, flit, &mut doomed);
+                    }
+                }
+            }
+        }
+        for (node, dirs) in self.links.iter().enumerate() {
+            for (di, link) in dirs.iter().enumerate() {
+                let Some(nb) = self.mesh.neighbor(NodeId(node as u16), DIRS[di]) else {
+                    continue;
+                };
+                for (_, flit) in link {
+                    // The flit will route next at the receiving neighbour.
+                    note(&self.routes, nb.index(), flit, &mut doomed);
+                }
+            }
+        }
+        for (node, vcs) in self.nic.iter().enumerate() {
+            for q in vcs {
+                for pkt in q {
+                    let Some(first) = pkt.front() else { continue };
+                    // A sub-queue whose first flit is no longer the head has
+                    // already started streaming; a route change splits it.
+                    // Unstarted packets survive any reroute except losing
+                    // their destination entirely.
+                    let started = !matches!(first.kind, FlitKind::Head(_));
+                    if started {
+                        note(&self.routes, node, first, &mut doomed);
+                    } else if self.routes[node][first.dst.index()] == UNREACHABLE {
+                        doomed.push((first.packet.0, true));
+                    }
+                }
+            }
+        }
+        doomed.sort_unstable_by_key(|&(pid, unreachable)| (pid, !unreachable));
+        doomed.dedup_by_key(|&mut (pid, _)| pid);
+        for (pid, unreachable) in doomed {
+            self.purge_packet(pid);
+            if unreachable {
+                self.stats.dropped_unreachable += 1;
+            } else {
+                self.stats.dropped_flushed += 1;
+            }
+        }
+    }
+
+    /// Removes every trace of packet `pid` from the network: buffered
+    /// flits, wormhole locks it owns, NIC sub-queues, reassembly state and
+    /// the in-flight count. Counters are the caller's responsibility.
+    fn purge_packet(&mut self, pid: u64) {
+        for router in &mut self.routers {
+            for port in &mut router.inputs {
+                for fifo in &mut port.fifos {
+                    fifo.retain(|f| f.packet.0 != pid);
+                }
+            }
+            for port in &mut router.out_lock {
+                for lock in port.iter_mut() {
+                    if lock.is_some_and(|o| o.packet.0 == pid) {
+                        *lock = None;
+                    }
+                }
+            }
+        }
+        for dirs in &mut self.links {
+            for link in dirs.iter_mut() {
+                link.retain(|(_, f)| f.packet.0 != pid);
+            }
+        }
+        for vcs in &mut self.nic {
+            for q in vcs.iter_mut() {
+                q.retain(|pkt| pkt.front().is_some_and(|f| f.packet.0 != pid));
+            }
+        }
+        self.reassembly.remove(&pid);
+        self.rx_poisoned.remove(&pid);
+        if self.inject_time.remove(&pid).is_some() {
+            self.in_flight -= 1;
+        }
+    }
+
+    /// All packets currently anywhere in the network, deduplicated and
+    /// sorted (deterministic).
+    fn buffered_packets(&self) -> Vec<u64> {
+        let mut pids: Vec<u64> = self
+            .routers
+            .iter()
+            .flat_map(|r| r.inputs.iter())
+            .flat_map(|p| p.fifos.iter())
+            .flatten()
+            .map(|f| f.packet.0)
+            .chain(
+                self.links
+                    .iter()
+                    .flatten()
+                    .flatten()
+                    .map(|(_, f)| f.packet.0),
+            )
+            .chain(
+                self.nic
+                    .iter()
+                    .flatten()
+                    .flatten()
+                    .filter_map(|pkt| pkt.front())
+                    .map(|f| f.packet.0),
+            )
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids
+    }
+
+    /// The no-progress valve: if packets are in flight but nothing has
+    /// moved for [`DEADLOCK_WINDOW`] cycles, purge everything buffered.
+    /// This converts a (detour-induced) routing deadlock into bounded,
+    /// counted packet loss — an injected fault can never hang the NoC.
+    fn check_progress_valve(&mut self) {
+        if self.in_flight == 0 {
+            self.last_progress = self.stats.cycles;
+            return;
+        }
+        if self.stats.cycles - self.last_progress <= DEADLOCK_WINDOW {
+            return;
+        }
+        for pid in self.buffered_packets() {
+            self.purge_packet(pid);
+            self.stats.dropped_flushed += 1;
+        }
+        // Anything still "in flight" now has no flits anywhere (should not
+        // happen, but the valve must leave the network consistent).
+        self.last_progress = self.stats.cycles;
+    }
+
+    fn link_is_down(&self, node: usize, di: usize) -> bool {
+        self.dead_links[node][di] || self.link_down_until[node][di] > self.now.as_u64()
+    }
+
+    fn stalled(&self, node: usize) -> bool {
+        self.stall_until[node] > self.now.as_u64()
+    }
+
     /// Advances the network by one cycle.
     pub fn tick(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
+        // Chaos first: this cycle's faults land before traffic moves.
+        let mut plane = self.fault_plane.take();
+        if let Some(p) = plane.as_mut() {
+            for ev in p.step(self.now, &self.mesh) {
+                self.apply_fault_event(ev);
+            }
+        }
         self.phase_link_arrivals();
         let moves = self.phase_allocate();
-        self.phase_apply(&moves);
+        self.phase_apply(&moves, plane.as_mut());
         self.phase_inject();
+        self.fault_plane = plane;
+        self.check_progress_valve();
     }
 
     /// Runs until no messages are in flight or `max_cycles` elapse; returns
@@ -323,6 +719,7 @@ impl Noc {
                         "credit accounting must guarantee buffer space"
                     );
                     fifo.push_back(flit);
+                    self.last_progress = self.stats.cycles;
                 }
             }
         }
@@ -334,6 +731,9 @@ impl Noc {
     fn phase_allocate(&self) -> Vec<Move> {
         let mut moves = Vec::new();
         for node in 0..self.mesh.nodes() {
+            if self.stalled(node) {
+                continue;
+            }
             let router = &self.routers[node];
             for out_port in 0..PORTS {
                 // Output link existence check for mesh edges.
@@ -363,7 +763,7 @@ impl Noc {
                         let Some(head) = router.inputs[in_port].fifos[vc].front() else {
                             continue;
                         };
-                        if self.mesh.route(NodeId(node as u16), head.dst).index() != out_port {
+                        if self.routes[node][head.dst.index()] != out_port as u8 {
                             continue;
                         }
                         let eligible = match lock {
@@ -387,9 +787,12 @@ impl Noc {
         moves
     }
 
-    fn phase_apply(&mut self, moves: &[Move]) {
+    fn phase_apply(&mut self, moves: &[Move], mut plane: Option<&mut FaultPlane>) {
+        if !moves.is_empty() {
+            self.last_progress = self.stats.cycles;
+        }
         for m in moves {
-            let flit = self.routers[m.node].inputs[m.in_port].fifos[m.vc]
+            let mut flit = self.routers[m.node].inputs[m.in_port].fifos[m.vc]
                 .pop_front()
                 .expect("move references a buffered flit");
             // Wormhole lock maintenance.
@@ -397,16 +800,28 @@ impl Noc {
             if flit.is_tail {
                 *lock = None;
             } else if matches!(flit.kind, FlitKind::Head(_)) {
-                *lock = Some(LockOwner { in_port: m.in_port });
+                *lock = Some(LockOwner {
+                    in_port: m.in_port,
+                    packet: flit.packet,
+                });
             }
             self.routers[m.node].rr[m.out_port] = m.in_port;
 
             if m.out_port == Port::Local.index() {
                 self.eject(m.node, flit);
             } else {
+                let di = m.out_port - 1;
+                // One corruption roll per link traversal (fixed RNG
+                // consumption), plus deterministic corruption on downed
+                // links. `corrupt` is idempotent, so a doubly-faulted hop
+                // is still detected.
+                let rolled = plane.as_deref_mut().is_some_and(|p| p.corrupt_roll());
+                if rolled || self.link_is_down(m.node, di) {
+                    flit.corrupt();
+                }
                 let arrive = self.now + 1 + self.cfg.hop_latency;
-                self.links[m.node][m.out_port - 1].push_back((arrive, flit));
-                self.link_flits[m.node][m.out_port - 1] += 1;
+                self.links[m.node][di].push_back((arrive, flit));
+                self.link_flits[m.node][di] += 1;
                 self.stats.flit_hops += 1;
             }
         }
@@ -414,19 +829,39 @@ impl Noc {
 
     fn eject(&mut self, node: usize, flit: Flit) {
         self.stats.flits_ejected += 1;
+        let intact = flit.checksum_ok();
+        if !intact {
+            self.stats.corrupted_flits += 1;
+        }
         let is_tail = flit.is_tail;
         let pid = flit.packet;
+        // A single damaged flit poisons the whole packet: nothing of it is
+        // delivered, and the drop is accounted once the tail arrives.
+        let poisoned = !intact || self.rx_poisoned.contains(&pid.0);
         match flit.kind {
             FlitKind::Head(msg) => {
                 debug_assert_eq!(msg.dst.index(), node, "misrouted flit");
-                if is_tail {
-                    self.deliver(node, pid, *msg);
-                } else {
-                    self.reassembly.insert(pid.0, msg);
+                match (is_tail, poisoned) {
+                    (true, false) => self.deliver(node, pid, *msg),
+                    (true, true) => self.drop_at_rx(pid),
+                    (false, false) => {
+                        self.reassembly.insert(pid.0, msg);
+                    }
+                    (false, true) => {
+                        self.rx_poisoned.insert(pid.0);
+                    }
                 }
             }
             FlitKind::Body => {
-                if is_tail {
+                if poisoned {
+                    self.reassembly.remove(&pid.0);
+                    if is_tail {
+                        self.rx_poisoned.remove(&pid.0);
+                        self.drop_at_rx(pid);
+                    } else {
+                        self.rx_poisoned.insert(pid.0);
+                    }
+                } else if is_tail {
                     let msg = self
                         .reassembly
                         .remove(&pid.0)
@@ -435,6 +870,15 @@ impl Noc {
                 }
             }
         }
+    }
+
+    /// Accounts a packet dropped at the destination for corruption.
+    fn drop_at_rx(&mut self, pid: PacketId) {
+        self.inject_time
+            .remove(&pid.0)
+            .expect("every packet has an inject timestamp");
+        self.in_flight -= 1;
+        self.stats.dropped_corrupt += 1;
     }
 
     fn deliver(&mut self, node: usize, pid: PacketId, msg: Message) {
@@ -470,6 +914,7 @@ impl Noc {
                     self.nic[node][vc].pop_front();
                 }
                 self.routers[node].inputs[local].fifos[vc].push_back(flit);
+                self.last_progress = self.stats.cycles;
                 break; // One flit per node per cycle.
             }
         }
@@ -670,6 +1115,167 @@ mod tests {
         assert_eq!(st.latency.count(), st.delivered);
         assert!(st.flits_ejected >= st.delivered);
         assert_eq!(noc.pending(), 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultPlane, FaultPlaneConfig};
+    use crate::packet::TrafficClass;
+
+    fn msg(src: u16, dst: u16, bytes: usize) -> Message {
+        Message::new(
+            NodeId(src),
+            NodeId(dst),
+            TrafficClass::Request,
+            vec![0xAB; bytes],
+        )
+    }
+
+    #[test]
+    fn transient_outage_drops_and_counts_instead_of_delivering() {
+        let mut noc = Noc::new(NocConfig::soft(4, 1));
+        // Take the 0->1 link down for longer than the whole transfer.
+        noc.fail_link_for(NodeId(0), Direction::East, 10_000);
+        noc.try_inject(NodeId(0), msg(0, 3, 64)).expect("space");
+        assert!(noc.run_until_quiescent(100_000));
+        assert!(noc.poll_eject(NodeId(3)).is_none(), "must not deliver");
+        let st = noc.stats();
+        assert_eq!(st.dropped_corrupt, 1);
+        assert!(st.corrupted_flits > 0);
+        assert_eq!(st.delivered, 0);
+        assert_eq!(noc.pending(), 0);
+    }
+
+    #[test]
+    fn outage_heals_and_traffic_resumes() {
+        let mut noc = Noc::new(NocConfig::soft(4, 1));
+        noc.fail_link_for(NodeId(0), Direction::East, 50);
+        for _ in 0..60 {
+            noc.tick();
+        }
+        noc.try_inject(NodeId(0), msg(0, 3, 64)).expect("space");
+        assert!(noc.run_until_quiescent(100_000));
+        assert!(noc.poll_eject(NodeId(3)).is_some(), "healed link delivers");
+        assert_eq!(noc.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn permanent_kill_detours_around_the_dead_link() {
+        // 4x4 mesh: kill 0->East; XY route 0->3 would use it. A detour
+        // through row 1 must deliver intact (checksum passes: the packet
+        // never touches the dead link).
+        let mut noc = Noc::new(NocConfig::soft(4, 4));
+        assert!(noc.kill_link(NodeId(0), Direction::East));
+        assert!(noc.reachable(NodeId(0), NodeId(3)));
+        noc.try_inject(NodeId(0), msg(0, 3, 64)).expect("space");
+        assert!(noc.run_until_quiescent(100_000));
+        let d = noc.poll_eject(NodeId(3)).expect("detoured delivery");
+        assert_eq!(d.msg.payload.len(), 64);
+        assert_eq!(noc.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn cut_off_node_reports_unreachable() {
+        // 2x1 mesh: killing both directions of the only link partitions it.
+        let mut noc = Noc::new(NocConfig::soft(2, 1));
+        assert!(noc.kill_link(NodeId(0), Direction::East));
+        assert!(noc.kill_link(NodeId(1), Direction::West));
+        assert!(!noc.reachable(NodeId(0), NodeId(1)));
+        assert_eq!(
+            noc.try_inject(NodeId(0), msg(0, 1, 8)),
+            Err(InjectError::Unreachable)
+        );
+        // Loopback still works.
+        assert!(noc.reachable(NodeId(0), NodeId(0)));
+        noc.try_inject(NodeId(0), msg(0, 0, 8)).expect("loopback");
+        assert!(noc.run_until_quiescent(1_000));
+    }
+
+    #[test]
+    fn kill_mid_flight_never_hangs() {
+        let mut noc = Noc::new(NocConfig::soft(4, 4));
+        for s in 0..16u16 {
+            let _ = noc.try_inject(NodeId(s), msg(s, (s + 7) % 16, 400));
+        }
+        for _ in 0..10 {
+            noc.tick();
+        }
+        // Sever several links while packets are streaming.
+        noc.kill_link(NodeId(1), Direction::East);
+        noc.kill_link(NodeId(2), Direction::West);
+        noc.kill_link(NodeId(5), Direction::North);
+        assert!(
+            noc.run_until_quiescent(1_000_000),
+            "network must always drain"
+        );
+        let st = noc.stats();
+        assert_eq!(st.delivered + st.dropped(), st.injected);
+    }
+
+    #[test]
+    fn router_stall_delays_but_delivers() {
+        let mut base = Noc::new(NocConfig::soft(4, 1));
+        base.try_inject(NodeId(0), msg(0, 3, 64)).expect("space");
+        base.run_until_quiescent(10_000);
+        let unstalled = base.poll_eject(NodeId(3)).expect("delivered").latency();
+
+        let mut noc = Noc::new(NocConfig::soft(4, 1));
+        noc.stall_router(NodeId(1), 300);
+        noc.try_inject(NodeId(0), msg(0, 3, 64)).expect("space");
+        assert!(noc.run_until_quiescent(100_000));
+        let stalled = noc.poll_eject(NodeId(3)).expect("delivered").latency();
+        assert!(
+            stalled >= unstalled + 250,
+            "stalled={stalled} unstalled={unstalled}"
+        );
+        assert_eq!(noc.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn chaos_plane_runs_are_deterministic() {
+        let run = |seed: u64| {
+            let mut noc = Noc::new(NocConfig::soft(4, 4));
+            noc.install_fault_plane(FaultPlane::new(FaultPlaneConfig::with_rate(seed, 0.02)));
+            let mut delivered_tags = Vec::new();
+            for round in 0..400u64 {
+                for s in 0..16u16 {
+                    let mut m = msg(s, ((s as u64 + round) % 16) as u16, 48);
+                    m.tag = round << 16 | s as u64;
+                    let _ = noc.try_inject(NodeId(s), m);
+                }
+                for _ in 0..8 {
+                    noc.tick();
+                }
+                for n in 0..16u16 {
+                    for d in noc.drain_eject(NodeId(n)) {
+                        delivered_tags.push(d.msg.tag);
+                    }
+                }
+            }
+            assert!(noc.run_until_quiescent(2_000_000), "chaos must not hang");
+            for n in 0..16u16 {
+                for d in noc.drain_eject(NodeId(n)) {
+                    delivered_tags.push(d.msg.tag);
+                }
+            }
+            let st = noc.stats().clone();
+            assert_eq!(st.delivered + st.dropped(), st.injected);
+            (
+                delivered_tags,
+                st.delivered,
+                st.dropped(),
+                st.corrupted_flits,
+            )
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same seed, same chaos run");
+        let c = run(12);
+        assert_ne!(a.0, c.0, "different seed, different run");
+        assert!(a.2 > 0, "a 2% plane must actually drop something");
+        assert!(a.1 > 0, "most traffic still gets through");
     }
 }
 

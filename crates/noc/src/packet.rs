@@ -106,6 +106,40 @@ pub struct Flit {
     pub dst: NodeId,
     /// Virtual channel.
     pub vc: usize,
+    /// Link-level checksum, set at packetisation. Fault injection flips it;
+    /// the ejecting node verifies it so corruption is *detected* (and the
+    /// packet dropped) rather than silently delivered.
+    pub checksum: u32,
+}
+
+impl Flit {
+    /// The checksum a pristine copy of this flit would carry.
+    pub fn expected_checksum(&self) -> u32 {
+        let head = matches!(self.kind, FlitKind::Head(_)) as u64;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [
+            self.packet.0,
+            head,
+            self.is_tail as u64,
+            self.dst.0 as u64,
+            self.vc as u64,
+        ] {
+            h ^= word;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h >> 32) as u32 ^ h as u32
+    }
+
+    /// Whether the flit survived transit intact.
+    pub fn checksum_ok(&self) -> bool {
+        self.checksum == self.expected_checksum()
+    }
+
+    /// Marks the flit as damaged in transit (checksum no longer matches).
+    /// Idempotent: crossing several faulty links stays detectable.
+    pub fn corrupt(&mut self) {
+        self.checksum = self.expected_checksum() ^ 0x5A5A_5A5A;
+    }
 }
 
 /// Segments a message into flits.
@@ -130,6 +164,7 @@ pub fn packetize(
         is_tail: nflits == 1,
         dst,
         vc,
+        checksum: 0,
     });
     for i in 1..nflits {
         flits.push(Flit {
@@ -138,7 +173,11 @@ pub fn packetize(
             is_tail: i == nflits - 1,
             dst,
             vc,
+            checksum: 0,
         });
+    }
+    for f in &mut flits {
+        f.checksum = f.expected_checksum();
     }
     flits
 }
@@ -216,6 +255,18 @@ mod tests {
         m.class = TrafficClass::Bulk;
         let flits = packetize(m, PacketId(4), 16, 8);
         assert_eq!(flits[0].vc, 2);
+    }
+
+    #[test]
+    fn checksums_verify_and_detect_corruption() {
+        let mut flits = packetize(msg(100), PacketId(9), 16, 8);
+        assert!(flits.iter().all(|f| f.checksum_ok()));
+        flits[3].corrupt();
+        assert!(!flits[3].checksum_ok());
+        flits[3].corrupt();
+        assert!(!flits[3].checksum_ok(), "double corruption stays detected");
+        // Head and body of the same packet have distinct checksums.
+        assert_ne!(flits[0].checksum, flits[1].checksum);
     }
 
     #[test]

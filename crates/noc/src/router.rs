@@ -37,6 +37,9 @@ impl InputPort {
 pub struct LockOwner {
     /// The input port the owning packet is arriving through.
     pub in_port: usize,
+    /// The owning packet, so fault handling can release locks whose owner
+    /// was dropped mid-stream.
+    pub packet: crate::packet::PacketId,
 }
 
 /// One mesh router.
@@ -85,6 +88,7 @@ mod tests {
             is_tail: false,
             dst: NodeId(0),
             vc,
+            checksum: 0,
         }
     }
 

@@ -112,6 +112,102 @@ proptest! {
     }
 }
 
+/// Replays one concrete layout against the `authority_matches_kernel_wiring`
+/// invariant with plain asserts (no proptest machinery involved).
+fn assert_authority_matches_wiring(layout: &Layout, payload: usize) {
+    let mut sys = System::new(SystemConfig::default());
+    for &(node, app) in &layout.apps {
+        sys.install(
+            NodeId(node),
+            Box::new(idle()),
+            AppId(app),
+            FaultPolicy::FailStop,
+        )
+        .expect("slots are deduped");
+    }
+    let mut granted: Vec<(u16, u16, apiary::cap::CapRef)> = Vec::new();
+    for &(i, j) in &layout.connects {
+        if layout.apps.is_empty() {
+            continue;
+        }
+        let (from, fa) = layout.apps[i % layout.apps.len()];
+        let (to, ta) = layout.apps[j % layout.apps.len()];
+        match sys.connect(NodeId(from), NodeId(to), false) {
+            Ok(cap) => {
+                assert_eq!(fa, ta, "cross-app connect must be refused");
+                granted.push((from, to, cap));
+            }
+            Err(e) => {
+                assert!(fa != ta, "same-app connect refused unexpectedly: {e}");
+            }
+        }
+    }
+    for (k, &(from, _, cap)) in granted.iter().enumerate() {
+        let now = sys.now();
+        sys.tile_mut(NodeId(from))
+            .monitor
+            .send(
+                cap,
+                wire::KIND_REQUEST,
+                k as u64,
+                TrafficClass::Request,
+                vec![0xEE; payload],
+                now,
+            )
+            .expect("granted capability must work");
+    }
+    sys.run_until_idle(500_000);
+    for &(node, _) in &layout.apps {
+        let expected = granted.iter().filter(|(_, to, _)| *to == node).count() as u64;
+        let got = sys.tile(NodeId(node)).monitor.stats().received;
+        assert_eq!(got, expected, "tile {node} deliveries");
+    }
+}
+
+// The three named regressions below are shrunk counterexamples proptest
+// found historically (see `isolation.proptest-regressions`), pinned as
+// always-run deterministic tests so the cases survive even where the
+// regression file is not picked up.
+
+/// Six same-app tiles, one connect whose huge random indices wrap onto
+/// valid slots — connect index reduction modulo `apps.len()`.
+#[test]
+fn regression_wrapped_connect_indices_deliver_exactly_once() {
+    assert_authority_matches_wiring(
+        &Layout {
+            apps: vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1), (7, 1)],
+            connects: vec![(9981102113195967758, 12079719831914863952)],
+        },
+        15,
+    );
+}
+
+/// A wrapped connect landing on a (from == to) self-pair within one app:
+/// loopback wiring must still deliver exactly once.
+#[test]
+fn regression_self_connect_counts_one_delivery() {
+    assert_authority_matches_wiring(
+        &Layout {
+            apps: vec![(0, 1), (3, 1), (4, 1), (5, 1), (6, 1), (7, 1)],
+            connects: vec![(6429280465722596886, 6091508379920084856)],
+        },
+        70,
+    );
+}
+
+/// A single-tile layout where every connect index maps to tile 0: the
+/// degenerate one-node case with a loopback capability.
+#[test]
+fn regression_single_tile_loopback() {
+    assert_authority_matches_wiring(
+        &Layout {
+            apps: vec![(0, 1)],
+            connects: vec![(0, 500833828703671)],
+        },
+        103,
+    );
+}
+
 /// Non-property regression: a fail-stopped tile's in-flight inbox never
 /// leaks to the replacement accelerator after reconfiguration.
 #[test]

@@ -1,0 +1,200 @@
+//! A tiny, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the real
+//! criterion is unavailable. This shim implements the API surface used by
+//! `crates/bench/benches/micro.rs` — `criterion_group!`, `criterion_main!`,
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched,
+//! iter_batched_ref}` and `BatchSize` — with a simple time-boxed runner
+//! that prints mean ns/iter. It produces no statistical analysis, plots or
+//! HTML reports; it exists so `cargo bench` (and `cargo test --benches`)
+//! builds and runs offline.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup cost relates to the routine; the shim only uses this
+/// to pick a batch count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    /// Total time the measured routine ran.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    /// Measurement budget per benchmark.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (uncounted).
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            self.iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || self.iters >= 1_000_000 {
+                self.elapsed = elapsed;
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on inputs built (outside the timed region) by
+    /// `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let deadline = Instant::now() + self.budget;
+        let batch = size.batch_len();
+        while Instant::now() < deadline && self.iters < 1_000_000 {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.elapsed += start.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// As [`Bencher::iter_batched`], but the routine borrows its input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        std::hint::black_box(routine(&mut warm));
+        let deadline = Instant::now() + self.budget;
+        let batch = size.batch_len();
+        while Instant::now() < deadline && self.iters < 1_000_000 {
+            let mut inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs.iter_mut() {
+                std::hint::black_box(routine(input));
+            }
+            self.elapsed += start.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep full `cargo bench` runs to seconds, not minutes.
+        Criterion {
+            budget: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as one named benchmark and prints the result.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        println!(
+            "bench {name:<40} {:>12.1} ns/iter ({} iters)",
+            b.ns_per_iter(),
+            b.iters
+        );
+        self
+    }
+}
+
+/// Groups benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                hits += 1;
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn batched_variants_run() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        c.bench_function("batched_ref", |b| {
+            b.iter_batched_ref(|| vec![1u8; 16], |v| v.pop(), BatchSize::PerIteration)
+        });
+    }
+}
