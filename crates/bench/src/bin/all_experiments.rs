@@ -1,34 +1,121 @@
 //! Runs every experiment (quick mode by default; pass `--full` for the
-//! complete sweeps) and prints all reports — the one-command artifact
-//! regeneration entry point.
+//! complete sweeps) on a scoped thread pool and writes the perf baseline.
+//!
+//! - `--jobs N` sets the worker count (default: available cores). Output is
+//!   byte-identical for any N: reports print in E1..E16 order and only
+//!   `wall_ms` varies run to run.
+//! - Each experiment's structured result lands in `results/eNN_<name>.json`;
+//!   the aggregate (wall time, simulated cycles/sec, headline metrics, and
+//!   the measured NoC active-set speedup) in `results/BENCH_apiary.json`.
 
-use apiary_bench::experiments as e;
+use apiary_bench::harness;
+use apiary_bench::report::{round3, Json};
+use apiary_bench::results;
+use apiary_noc::{Message, Noc, NocConfig, NodeId, TrafficClass};
+use std::time::Instant;
 
-type Experiment = (&'static str, fn(bool) -> String);
+/// Measures the NoC active-set scheduling speedup: the same sparse workload
+/// (a few busy nodes on a mostly idle 8x8 mesh — the common case for a
+/// kernel driving a handful of tiles) with the optimisation off, then on.
+/// Stats must match exactly; only wall time may differ.
+fn bench_active_set() -> Json {
+    let run = |active: bool| {
+        let mut noc = Noc::new(NocConfig::soft(8, 8));
+        noc.set_active_set(active);
+        let t0 = Instant::now();
+        for round in 0..3_000u64 {
+            // Two hotspot pairs keep a trickle in flight; 62 nodes idle.
+            for &(s, d) in &[(0u16, 9u16), (54u16, 63u16)] {
+                if round % 8 == 0 {
+                    let _ = noc.try_inject(
+                        NodeId(s),
+                        Message::new(NodeId(s), NodeId(d), TrafficClass::Request, vec![0; 64]),
+                    );
+                }
+            }
+            noc.tick();
+            for n in [9u16, 63u16] {
+                noc.drain_eject(NodeId(n));
+            }
+        }
+        noc.run_until_quiescent(100_000);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let st = noc.stats().clone();
+        (
+            wall_ms,
+            (
+                st.delivered,
+                st.flit_hops,
+                st.latency.p50(),
+                st.latency.p99(),
+            ),
+        )
+    };
+    let (dense_ms, dense_stats) = run(false);
+    let (active_ms, active_stats) = run(true);
+    assert_eq!(
+        dense_stats, active_stats,
+        "active-set scheduling changed simulation results"
+    );
+    Json::obj()
+        .set("workload", "8x8 soft mesh, 2 hotspot pairs, 3000 cycles")
+        .set("dense_ms", round3(dense_ms))
+        .set("active_set_ms", round3(active_ms))
+        .set("speedup", round3(dense_ms / active_ms.max(1e-9)))
+        .set("stats_identical", true)
+}
 
 fn main() {
-    let quick = !std::env::args().any(|a| a == "--full");
-    let experiments: Vec<Experiment> = vec![
-        ("E1", e::e01_table1::run),
-        ("E2", e::e02_figure1::run),
-        ("E3", e::e03_monitor_overhead::run),
-        ("E4", e::e04_direct_vs_host::run),
-        ("E5", e::e05_isolation_cost::run),
-        ("E6", e::e06_rate_limiting::run),
-        ("E7", e::e07_segments_vs_pages::run),
-        ("E8", e::e08_fault_handling::run),
-        ("E9", e::e09_noc_scaling::run),
-        ("E10", e::e10_video_pipeline::run),
-        ("E11", e::e11_multi_tenant::run),
-        ("E12", e::e12_remote_service::run),
-        ("E13", e::e13_noc_ablation::run),
-        ("E14", e::e14_reconfig_churn::run),
-        ("E15", e::e15_memory_service::run),
-        ("E16", e::e16_chaos::run),
-    ];
-    for (id, run) in experiments {
-        println!("==================== {id} ====================");
-        print!("{}", run(quick));
+    let args: Vec<String> = std::env::args().collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let mut jobs = harness::default_jobs();
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => jobs = n,
+            _ => {
+                eprintln!("usage: all_experiments [--full] [--jobs N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let suite_t0 = Instant::now();
+    let reports = harness::run_suite(quick, jobs);
+    let suite_wall_ms = suite_t0.elapsed().as_secs_f64() * 1000.0;
+
+    for r in &reports {
+        println!("==================== {} ====================", r.id);
+        print!("{}", r.rendered);
         println!();
     }
+    for r in &reports {
+        results::write_result_or_exit(harness::result_file(r.id), &r.to_json());
+    }
+
+    let noc_active_set = bench_active_set();
+
+    let total_sim_cycles: u64 = reports.iter().map(|r| r.sim_cycles).sum();
+    let cycles_per_sec = total_sim_cycles as f64 / (suite_wall_ms / 1000.0).max(1e-9);
+    let experiments: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .set("experiment", r.id)
+                .set("title", r.title)
+                .set("wall_ms", round3(r.wall_ms))
+                .set("sim_cycles", r.sim_cycles)
+                .set("sim_cycles_per_sec", round3(r.cycles_per_sec()))
+                .set("metrics", r.metrics.clone())
+        })
+        .collect();
+    let bench = Json::obj()
+        .set("schema", "apiary-bench-v1")
+        .set("mode", if quick { "quick" } else { "full" })
+        .set("jobs", jobs)
+        .set("suite_wall_ms", round3(suite_wall_ms))
+        .set("total_sim_cycles", total_sim_cycles)
+        .set("sim_cycles_per_sec", round3(cycles_per_sec))
+        .set("noc_active_set", noc_active_set)
+        .set("experiments", Json::Arr(experiments));
+    results::write_result_or_exit("results/BENCH_apiary.json", &bench.render_pretty());
 }

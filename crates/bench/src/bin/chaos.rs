@@ -1,19 +1,12 @@
 //! Regenerates experiment e16_chaos (see DESIGN.md §3). Pass `--quick` for a
-//! scaled-down run. Writes machine-readable results to
-//! `results/e16_chaos.json` (next to the repo's other result files).
+//! scaled-down run. Writes the structured result to `results/e16_chaos.json`
+//! (the parent directory is created; a failed write exits non-zero).
+
+use apiary_bench::{harness, results};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let report = apiary_bench::experiments::e16_chaos::execute(quick);
-    print!("{}", report.render());
-    let path = std::path::Path::new("results");
-    let out = if path.is_dir() {
-        path.join("e16_chaos.json")
-    } else {
-        std::path::PathBuf::from("e16_chaos.json")
-    };
-    match std::fs::write(&out, report.to_json()) {
-        Ok(()) => println!("\nwrote {}", out.display()),
-        Err(e) => eprintln!("\nfailed to write {}: {e}", out.display()),
-    }
+    let r = harness::run_one(apiary_bench::experiments::e16_chaos::report, quick);
+    print!("{}", r.rendered);
+    results::write_result_or_exit(harness::result_file(r.id), &r.to_json());
 }

@@ -1,10 +1,12 @@
-//! Regenerates experiment e15_memory_service (see DESIGN.md §3). Pass
-//! `--quick` for a scaled-down run.
+//! Regenerates experiment e15_memory_service (see DESIGN.md §3). Pass `--quick` for a
+//! scaled-down run. Writes the structured result to `results/e15_memory_service.json`
+//! (the parent directory is created; a failed write exits non-zero).
+
+use apiary_bench::{harness, results};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    print!(
-        "{}",
-        apiary_bench::experiments::e15_memory_service::run(quick)
-    );
+    let r = harness::run_one(apiary_bench::experiments::e15_memory_service::report, quick);
+    print!("{}", r.rendered);
+    results::write_result_or_exit(harness::result_file(r.id), &r.to_json());
 }

@@ -1,10 +1,12 @@
-//! Regenerates experiment e14_reconfig_churn (see DESIGN.md §3). Pass
-//! `--quick` for a scaled-down run.
+//! Regenerates experiment e14_reconfig_churn (see DESIGN.md §3). Pass `--quick` for a
+//! scaled-down run. Writes the structured result to `results/e14_reconfig_churn.json`
+//! (the parent directory is created; a failed write exits non-zero).
+
+use apiary_bench::{harness, results};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    print!(
-        "{}",
-        apiary_bench::experiments::e14_reconfig_churn::run(quick)
-    );
+    let r = harness::run_one(apiary_bench::experiments::e14_reconfig_churn::report, quick);
+    print!("{}", r.rendered);
+    results::write_result_or_exit(harness::result_file(r.id), &r.to_json());
 }

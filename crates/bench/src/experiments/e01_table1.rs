@@ -4,13 +4,15 @@
 //! the growth factors the surrounding text quotes ("about 50%" for the
 //! smallest parts, "3x" for the largest — the exact quotient is 4.3).
 
+use crate::report::{ExperimentReport, Json};
 use crate::table::TextTable;
 use apiary_resources::catalog::{table1_growth_factors, table1_rows};
 
-/// Runs the experiment; returns the report text.
-pub fn run(_quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(_quick: bool) -> ExperimentReport {
     let mut t = TextTable::new(&["Family", "Year Released", "Part Number", "Logic Cells"]);
-    for p in table1_rows() {
+    let rows = table1_rows();
+    for p in &rows {
         t.row_owned(vec![
             p.family.name().to_string(),
             p.year.to_string(),
@@ -19,14 +21,34 @@ pub fn run(_quick: bool) -> String {
         ]);
     }
     let (small, large) = table1_growth_factors();
-    format!(
+    let rendered = format!(
         "E1 / Table 1: Logic cell counts, smallest and largest parts per generation\n\n{}\n\
          Growth, smallest parts (XC7V585T -> VU3P):  {:.2}x  (paper: \"about 50%\")\n\
          Growth, largest parts  (XC7VH870T -> VU29P): {:.2}x  (paper: \"3x\")\n",
         t.render(),
         small,
         large
+    );
+    let metrics = Json::obj()
+        .set("parts", rows.len())
+        .set(
+            "max_logic_cells",
+            rows.iter().map(|p| p.logic_cells).max().unwrap_or(0),
+        )
+        .set("growth_smallest", (small * 100.0).round() / 100.0)
+        .set("growth_largest", (large * 100.0).round() / 100.0);
+    ExperimentReport::new(
+        "E1",
+        "Table 1: logic-cell counts across FPGA generations",
+        0,
+        metrics,
+        rendered,
     )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 fn format_cells(n: u64) -> String {

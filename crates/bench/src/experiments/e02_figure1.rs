@@ -8,6 +8,7 @@
 //! tile, per-application capability wiring, and no authority between the
 //! two applications.
 
+use crate::report::{ExperimentReport, Json};
 use apiary_accel::apps::compress::compressor;
 use apiary_accel::apps::idle::idle;
 use apiary_accel::apps::kv::kv_store;
@@ -61,8 +62,8 @@ pub fn build() -> System {
     sys
 }
 
-/// Runs the experiment; returns the rendered figure and the audit.
-pub fn run(_quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(_quick: bool) -> ExperimentReport {
     let sys = build();
     let mut out = String::new();
     let _ = writeln!(
@@ -73,13 +74,15 @@ pub fn run(_quick: bool) -> String {
 
     let _ = writeln!(out, "\nCapability audit (who can talk to whom):");
     let mesh = sys.noc().mesh();
-    let mut cross_app_caps = 0;
+    let mut cross_app_caps = 0u64;
+    let mut endpoint_caps = 0u64;
     for i in 0..mesh.nodes() {
         let node = NodeId(i as u16);
         let tile = sys.tile(node);
         let Some(app) = tile.app else { continue };
         for (_, cap) in tile.monitor.caps().iter_live() {
             if let apiary_cap::CapKind::Endpoint(e) = cap.kind {
+                endpoint_caps += 1;
                 let peer = NodeId(e.0 as u16);
                 let peer_app = sys.tile(peer).app;
                 let _ = writeln!(
@@ -103,7 +106,22 @@ pub fn run(_quick: bool) -> String {
         "Every tile carries a monitor + router in the static region; \
          accelerator slots are dynamically reconfigurable."
     );
-    out
+    let metrics = Json::obj()
+        .set("mesh_nodes", mesh.nodes())
+        .set("endpoint_caps", endpoint_caps)
+        .set("cross_app_caps", cross_app_caps);
+    ExperimentReport::new(
+        "E2",
+        "Figure 1: the Apiary architecture, instantiated and audited",
+        sys.now().as_u64(),
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! 2. **Cycles**: sweep the monitor's per-message check pipeline depth and
 //!    measure the end-to-end request latency it adds.
 
+use crate::report::{ExperimentReport, Json};
 use crate::scenarios::{client_server, drive, MonitorClient};
 use crate::table::TextTable;
 use apiary_accel::apps::echo::echo;
@@ -18,8 +19,8 @@ use apiary_noc::NodeId;
 use apiary_resources::{FloorPlanner, PARTS};
 use core::fmt::Write;
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -98,6 +99,8 @@ pub fn run(quick: bool) -> String {
     let requests = if quick { 20 } else { 200 };
     let mut t = TextTable::new(&["check cycles", "RTT p50", "RTT p99", "added vs 0"]);
     let mut base_p50 = 0;
+    let mut deep_p50 = 0;
+    let mut sim_cycles = 0u64;
     for check in [0u64, 1, 2, 4, 8] {
         let cfg = SystemConfig {
             monitor: MonitorConfig {
@@ -108,12 +111,13 @@ pub fn run(quick: bool) -> String {
         };
         let (mut sys, cap) = client_server(cfg, NodeId(0), NodeId(5), Box::new(echo(4)));
         let mut client = MonitorClient::new(NodeId(0), cap, 32).max_requests(requests);
-        drive(&mut sys, &mut [&mut client], 2_000_000);
+        sim_cycles += drive(&mut sys, &mut [&mut client], 2_000_000);
         assert!(client.done(), "E3 load did not complete");
         let p50 = client.rtt.p50();
         if check == 0 {
             base_p50 = p50;
         }
+        deep_p50 = p50;
         t.row_owned(vec![
             check.to_string(),
             p50.to_string(),
@@ -132,7 +136,23 @@ pub fn run(quick: bool) -> String {
          VU9P-class device and adds ~4 cycles per one-cycle-check hop pair to request latency.",
         monitor.luts
     );
-    out
+    let metrics = Json::obj()
+        .set("monitor_luts_default", monitor.luts)
+        .set("rtt_p50_check0", base_p50)
+        .set("rtt_p50_check8", deep_p50)
+        .set("added_p50_check8", deep_p50.saturating_sub(base_p50));
+    ExperimentReport::new(
+        "E3",
+        "Per-tile monitor overhead: area and message-path cycles",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! request. Expectation from the paper: direct wins on latency, tail, and
 //! energy; the gap narrows as compute dominates.
 
+use crate::report::{ExperimentReport, Json};
 use crate::table::TextTable;
 use apiary_accel::apps::echo::echo;
 use apiary_core::{AppId, FaultPolicy, System, SystemConfig};
@@ -22,8 +23,9 @@ use apiary_net::{EthernetTile, NetConfig, RequestGen, Workload};
 use apiary_noc::NodeId;
 use core::fmt::Write;
 
-/// Direct-attached measurement: RTT histogram + FPGA busy cycles.
-fn run_direct(compute: u64, requests: u64) -> (apiary_sim::Histogram, u64, u64) {
+/// Direct-attached measurement: RTT histogram + FPGA busy cycles +
+/// NoC bytes + simulated cycles driven.
+fn run_direct(compute: u64, requests: u64) -> (apiary_sim::Histogram, u64, u64, u64) {
     let mut sys = System::new(SystemConfig::default());
     let mac_node = NodeId(0);
     let svc_node = NodeId(5);
@@ -77,7 +79,7 @@ fn run_direct(compute: u64, requests: u64) -> (apiary_sim::Histogram, u64, u64) 
     // FPGA busy cycles: compute per request; NoC bytes: request+response.
     let fpga_busy = compute * requests;
     let noc_bytes = requests * (64 + 64 + 32); // payloads + headers.
-    (stats.rtt, fpga_busy, noc_bytes)
+    (stats.rtt, fpga_busy, noc_bytes, sys.now().as_u64())
 }
 
 fn run_host(compute: u64, requests: u64, mode: HostMode) -> (apiary_sim::Histogram, u64, u64) {
@@ -96,8 +98,8 @@ fn run_host(compute: u64, requests: u64, mode: HostMode) -> (apiary_sim::Histogr
     (s.rtt, s.cpu_busy_cycles, s.fpga_busy_cycles)
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let requests: u64 = if quick { 30 } else { 300 };
     let computes: &[u64] = if quick {
         &[256, 4096]
@@ -128,12 +130,20 @@ pub fn run(quick: bool) -> String {
          (closed loop, 1 client, 64 B requests, {} requests per point)\n",
         requests
     );
+    let mut sim_cycles = 0u64;
+    let mut first_speedup = 0.0;
+    let mut first_energy_ratio = 0.0;
     for &compute in computes {
-        let (d_rtt, d_fpga, d_noc) = run_direct(compute, requests);
+        let (d_rtt, d_fpga, d_noc, cyc) = run_direct(compute, requests);
+        sim_cycles += cyc;
         let (c_rtt, c_cpu, c_fpga) = run_host(compute, requests, HostMode::Coyote);
         let (a_rtt, _, _) = run_host(compute, requests, amorphos);
         let direct_energy = energy.direct_energy(d_fpga, d_noc) / requests as f64;
         let host_energy = energy.host_energy(c_cpu, c_fpga, requests * 128) / requests as f64;
+        if compute == computes[0] {
+            first_speedup = c_rtt.p50() as f64 / d_rtt.p50() as f64;
+            first_energy_ratio = host_energy / direct_energy;
+        }
         t.row_owned(vec![
             compute.to_string(),
             d_rtt.p50().to_string(),
@@ -152,7 +162,29 @@ pub fn run(quick: bool) -> String {
          mediation (~850 CPU cycles/request) and two PCIe crossings; the advantage is\n\
          largest for small compute and persists (energy) even when compute dominates."
     );
-    out
+    let metrics = Json::obj()
+        .set("requests_per_point", requests)
+        .set("compute_points", computes.len())
+        .set(
+            "speedup_vs_coyote_smallest_compute",
+            (first_speedup * 100.0).round() / 100.0,
+        )
+        .set(
+            "energy_ratio_smallest_compute",
+            (first_energy_ratio * 100.0).round() / 100.0,
+        );
+    ExperimentReport::new(
+        "E4",
+        "Direct-attached vs host-mediated request serving",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]
@@ -162,7 +194,7 @@ mod tests {
     #[test]
     fn direct_beats_coyote_at_small_compute() {
         let requests = 20;
-        let (d, _, _) = run_direct(256, requests);
+        let (d, _, _, _) = run_direct(256, requests);
         let (c, _, _) = run_host(256, requests, HostMode::Coyote);
         assert!(
             c.p50() > d.p50(),

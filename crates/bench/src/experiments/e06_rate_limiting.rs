@@ -12,6 +12,7 @@
 //! - **monitor rate limit**: the flooder's own monitor meters its egress
 //!   to a trickle, and the victim returns to baseline.
 
+use crate::report::{ExperimentReport, Json};
 use crate::scenarios::{drive, MonitorClient};
 use crate::table::TextTable;
 use apiary_accel::apps::echo::echo;
@@ -28,6 +29,7 @@ struct Outcome {
     victim_errors: u64,
     flood_sent: u64,
     flood_denied: u64,
+    cycles: u64,
 }
 
 /// Service compute cost: slower than the unmetered flood arrival rate, so
@@ -100,11 +102,12 @@ fn run_policy(
         victim_errors: victim.errors,
         flood_sent,
         flood_denied,
+        cycles,
     }
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let requests = if quick { 30 } else { 200 };
     let mut out = String::new();
     let _ = writeln!(
@@ -156,7 +159,27 @@ pub fn run(quick: bool) -> String {
          monitor's egress rate limit restores the victim to baseline. Endpoint\n\
          admission control belongs in the monitor, exactly where §4.5 puts it."
     );
-    out
+    let sim_cycles = rows.iter().map(|(_, o)| o.cycles).sum();
+    let baseline = &rows[0].1;
+    let flooded = &rows[1].1;
+    let limited = &rows[3].1;
+    let metrics = Json::obj()
+        .set("baseline_p99", baseline.victim_p99)
+        .set("flooded_p99", flooded.victim_p99)
+        .set("rate_limited_p99", limited.victim_p99)
+        .set("flood_denials_under_limit", limited.flood_denied);
+    ExperimentReport::new(
+        "E6",
+        "Rate-limiting a flooding accelerator at its monitor",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

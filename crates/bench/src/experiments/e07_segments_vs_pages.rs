@@ -13,6 +13,7 @@
 //! unusable-free stranding), and mean translation/check latency under a
 //! working set larger than the TLB reach.
 
+use crate::report::{ExperimentReport, Json};
 use crate::table::TextTable;
 use apiary_cap::MemRange;
 use apiary_mem::{AllocPolicy, BuddyAllocator, PagedMmu, SegmentAllocator};
@@ -146,8 +147,8 @@ fn run_trace(arena: &mut dyn Arena, ops: u64, seed: u64) -> Outcome {
     o
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let ops = if quick { 2_000 } else { 20_000 };
     let mut out = String::new();
     let _ = writeln!(
@@ -196,9 +197,21 @@ pub fn run(quick: bool) -> String {
             ))),
         ),
     ];
+    let mut metrics = Json::obj().set("ops", ops).set("arena_mib", CAPACITY >> 20);
+    let mut designs_json = Vec::new();
     for (name, mut arena) in designs {
         let o = run_trace(arena.as_mut(), ops, 1234);
         let waste = o.physical_live.saturating_sub(o.requested_live);
+        designs_json.push(
+            Json::obj()
+                .set("design", name)
+                .set("alloc_failures", o.failures)
+                .set("waste_bytes", waste)
+                .set(
+                    "access_cycles_mean",
+                    (o.access_cycles * 100.0).round() / 100.0,
+                ),
+        );
         t.row_owned(vec![
             name.to_string(),
             format!("{} / {}", o.failures, o.attempts),
@@ -218,7 +231,19 @@ pub fn run(quick: bool) -> String {
          large working set; 2 MiB paging trades misses for massive internal\n\
          fragmentation — the §4.6 design point in one table."
     );
-    out
+    metrics.put("designs", Json::Arr(designs_json));
+    ExperimentReport::new(
+        "E7",
+        "Segments vs pages: waste and translation latency",
+        0,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

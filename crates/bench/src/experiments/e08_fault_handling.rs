@@ -13,6 +13,7 @@
 //! Either way, a bystander application on another tile must be untouched —
 //! the containment property itself.
 
+use crate::report::{ExperimentReport, Json};
 use crate::scenarios::{drive, MonitorClient};
 use crate::table::TextTable;
 use apiary_accel::apps::echo::echo;
@@ -31,6 +32,7 @@ struct Outcome {
     served_total: u64,
     bystander_ok: u64,
     victim_alive_after: bool,
+    cycles: u64,
 }
 
 const BITSTREAM_BYTES: u64 = 512 << 10; // A tile-sized partial bitstream.
@@ -120,11 +122,12 @@ fn run_policy(policy: FaultPolicy, requests: u64) -> Outcome {
         served_total: vc.completed,
         bystander_ok: bc.completed - bc.errors,
         victim_alive_after: sys.tile(victim).monitor.state() == TileState::Running,
+        cycles: sys.now().as_u64(),
     }
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let requests = if quick { 40 } else { 200 };
     let mut out = String::new();
     let _ = writeln!(
@@ -139,11 +142,28 @@ pub fn run(quick: bool) -> String {
         "bystander ok",
         "tile alive after",
     ]);
+    let mut sim_cycles = 0u64;
+    let mut metrics = Json::obj().set("requests", requests);
     for (name, policy) in [
         ("fail-stop + reconfigure", FaultPolicy::FailStop),
         ("preempt (context swap)", FaultPolicy::Preempt),
     ] {
         let o = run_policy(policy, requests);
+        sim_cycles += o.cycles;
+        let key = if policy == FaultPolicy::FailStop {
+            "fail_stop"
+        } else {
+            "preempt"
+        };
+        metrics.put(
+            key,
+            Json::obj()
+                .set("ok", o.ok_before_recovery)
+                .set("errors", o.errors)
+                .set("recovery_cycles", o.recovery_cycles)
+                .set("bystander_ok", o.bystander_ok)
+                .set("tile_alive_after", o.victim_alive_after),
+        );
         t.row_owned(vec![
             name.to_string(),
             o.ok_before_recovery.to_string(),
@@ -168,7 +188,18 @@ pub fn run(quick: bool) -> String {
          propagate past the monitor (§4.4's fail-stop guarantee).",
         BITSTREAM_BYTES / 4
     );
-    out
+    ExperimentReport::new(
+        "E8",
+        "Fault containment: fail-stop vs preemption under load",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

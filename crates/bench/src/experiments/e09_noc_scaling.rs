@@ -12,6 +12,7 @@
 //! - **neighbour**: nearest-neighbour pipelines — the composition shape,
 //!   nearly contention-free.
 
+use crate::report::{ExperimentReport, Json};
 use crate::table::TextTable;
 use apiary_noc::{Message, Noc, NocConfig, NodeId, TrafficClass};
 use apiary_sim::SimRng;
@@ -52,6 +53,7 @@ struct Point {
     delivered_per_node_cycle: f64,
     p50: u64,
     p99: u64,
+    cycles: u64,
 }
 
 /// Drives the raw NoC at a Bernoulli injection rate (messages per node per
@@ -93,11 +95,12 @@ fn measure(size: u8, pattern: Pattern, rate: f64, cycles: u64, seed: u64) -> Poi
         delivered_per_node_cycle: st.delivered as f64 / (measured_cycles as f64 * nodes as f64),
         p50: st.latency.p50(),
         p99: st.latency.p99(),
+        cycles: st.cycles,
     }
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let cycles = if quick { 3_000 } else { 20_000 };
     let sizes: &[u8] = if quick { &[2, 4] } else { &[2, 4, 6, 8] };
     let rates: &[f64] = if quick {
@@ -111,6 +114,11 @@ pub fn run(quick: bool) -> String {
         "E9: NoC scaling — delivered throughput and latency vs offered load\n\
          (single-flit messages, soft NoC, XY routing, 3 VCs)\n"
     );
+    let mut sim_cycles = 0u64;
+    let mut metrics = Json::obj().set("cycles_per_point", cycles).set(
+        "mesh_sizes",
+        sizes.iter().map(|&s| s as u64).collect::<Vec<_>>(),
+    );
     for pattern in [Pattern::Uniform, Pattern::Hotspot, Pattern::Neighbor] {
         let mut t = TextTable::new(&[
             "mesh",
@@ -119,9 +127,12 @@ pub fn run(quick: bool) -> String {
             "p50",
             "p99",
         ]);
+        let mut peak = 0.0f64;
         for &size in sizes {
             for &rate in rates {
                 let p = measure(size, pattern, rate, cycles, 99);
+                sim_cycles += p.cycles;
+                peak = peak.max(p.delivered_per_node_cycle);
                 t.row_owned(vec![
                     format!("{size}x{size}"),
                     format!("{rate:.2}"),
@@ -131,6 +142,10 @@ pub fn run(quick: bool) -> String {
                 ]);
             }
         }
+        metrics.put(
+            format!("peak_delivered_{}", pattern.name()),
+            (peak * 1000.0).round() / 1000.0,
+        );
         let _ = writeln!(out, "pattern: {}\n{}", pattern.name(), t.render());
     }
     let _ = writeln!(
@@ -140,7 +155,18 @@ pub fn run(quick: bool) -> String {
          ejection port regardless of mesh size — shared services need replication\n\
          (E10) or admission control (E6), not a bigger network."
     );
-    out
+    ExperimentReport::new(
+        "E9",
+        "NoC scaling: throughput and latency vs offered load",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! Every frame is verified end-to-end: decompress + decode must equal the
 //! original (lossless settings), so throughput numbers are for real work.
 
+use crate::report::{ExperimentReport, Json};
 use crate::scenarios::{pump_group, MonitorClient};
 use crate::table::TextTable;
 use apiary_accel::apps::compress::compressor;
@@ -131,8 +132,8 @@ fn run_pipeline(replicas: usize, frames: u64) -> PipelineRun {
     }
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let frames: u64 = if quick { 8 } else { 64 };
     let mut out = String::new();
     let _ = writeln!(
@@ -150,11 +151,19 @@ pub fn run(quick: bool) -> String {
         "verified",
     ]);
     let mut base = 0.0;
+    let mut sim_cycles = 0u64;
+    let mut all_verified = true;
+    let mut speedup4 = 0.0;
     for replicas in [1usize, 2, 4] {
         let r = run_pipeline(replicas, frames);
+        sim_cycles += r.cycles;
+        all_verified &= r.verified;
         let fpm = r.frames as f64 / r.cycles as f64 * 1e6;
         if replicas == 1 {
             base = fpm;
+        }
+        if replicas == 4 {
+            speedup4 = fpm / base;
         }
         t.row_owned(vec![
             replicas.to_string(),
@@ -174,7 +183,23 @@ pub fn run(quick: bool) -> String {
          its limit. Composition needed no changes to either accelerator: the kernel\n\
          re-pointed 'next' capabilities."
     );
-    out
+    let metrics = Json::obj()
+        .set("frames_per_lane_run", frames)
+        .set("frames_per_mcycle_1lane", (base * 10.0).round() / 10.0)
+        .set("speedup_4lane", (speedup4 * 100.0).round() / 100.0)
+        .set("all_verified", all_verified);
+    ExperimentReport::new(
+        "E10",
+        "Video pipeline composition and scale-out, verified losslessly",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

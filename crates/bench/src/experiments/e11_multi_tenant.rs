@@ -15,6 +15,7 @@
 //! the KV store namespaces by capability badge, so the attacker reads
 //! nothing of the victim's data even while connected to the same store.
 
+use crate::report::{ExperimentReport, Json};
 use crate::scenarios::{drive, MonitorClient};
 use crate::table::TextTable;
 use apiary_accel::apps::compress::compressor;
@@ -42,6 +43,7 @@ struct Outcome {
     kv_errors: u64,
     video_frames: u64,
     tenant_isolation_held: bool,
+    cycles: u64,
 }
 
 fn run_scenario(s: Scenario, requests: u64) -> Outcome {
@@ -199,11 +201,12 @@ fn run_scenario(s: Scenario, requests: u64) -> Outcome {
         kv_errors: kvc.errors + kvc.lost,
         video_frames: vid.map(|v| v.completed).unwrap_or(0),
         tenant_isolation_held: isolation,
+        cycles: sys.now().as_u64(),
     }
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let requests = if quick { 30 } else { 200 };
     let mut out = String::new();
     let _ = writeln!(
@@ -218,6 +221,8 @@ pub fn run(quick: bool) -> String {
         "video frames",
         "data isolation",
     ]);
+    let mut sim_cycles = 0u64;
+    let mut metrics = Json::obj().set("requests", requests);
     for (name, s) in [
         ("KV alone", Scenario::KvAlone),
         ("KV + video pipeline", Scenario::WithVideo),
@@ -228,6 +233,20 @@ pub fn run(quick: bool) -> String {
         ),
     ] {
         let o = run_scenario(s, requests);
+        sim_cycles += o.cycles;
+        let key = match s {
+            Scenario::KvAlone => "kv_alone",
+            Scenario::WithVideo => "with_video",
+            Scenario::WithFlood => "with_flood",
+            Scenario::WithFloodDefended => "flood_defended",
+        };
+        metrics.put(
+            key,
+            Json::obj()
+                .set("kv_p50", o.kv_p50)
+                .set("kv_p99", o.kv_p99)
+                .set("isolation_held", o.tenant_isolation_held),
+        );
         t.row_owned(vec![
             name.to_string(),
             o.kv_p50.to_string(),
@@ -245,7 +264,18 @@ pub fn run(quick: bool) -> String {
          monitor's rate limit restores the victim while badge-namespacing keeps the\n\
          attacker's reads away from the victim's keys throughout."
     );
-    out
+    ExperimentReport::new(
+        "E11",
+        "Mutually distrusting tenants: co-location, attack, defense",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! invocation rate to show when remote hosting stops being acceptable
 //! (queueing blows up the tail).
 
+use crate::report::{ExperimentReport, Json};
 use crate::scenarios::MonitorClient;
 use crate::table::TextTable;
 use apiary_accel::apps::echo::echo;
@@ -30,6 +31,7 @@ const FUNC_CYCLES: u64 = 2_000;
 struct Point {
     p50: u64,
     p99: u64,
+    cycles: u64,
 }
 
 fn measure(remote: bool, think: u64, window: u32, requests: u64) -> Point {
@@ -69,16 +71,17 @@ fn measure(remote: bool, think: u64, window: u32, requests: u64) -> Point {
     // Discard the initial window-fill burst so steady-state rates are
     // compared, not the cold start.
     c.warmup = window as u64;
-    crate::scenarios::drive(&mut sys, &mut [&mut c], 200_000_000);
+    let cycles = crate::scenarios::drive(&mut sys, &mut [&mut c], 200_000_000);
     assert!(c.done(), "E12 load did not complete");
     Point {
         p50: c.rtt.p50(),
         p99: c.rtt.p99(),
+        cycles,
     }
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let requests = if quick { 15 } else { 100 };
     // (think, window, label): rare callers are serial; hot callers pipeline.
     let patterns: &[(u64, u32, &str)] = if quick {
@@ -107,9 +110,15 @@ pub fn run(quick: bool) -> String {
         "remote p99",
         "remote penalty p50",
     ]);
+    let mut sim_cycles = 0u64;
+    let mut serial_penalty = 0.0;
     for &(think, window, label) in patterns {
         let fab = measure(false, think, window, requests);
         let rem = measure(true, think, window, requests);
+        sim_cycles += fab.cycles + rem.cycles;
+        if window == 1 && serial_penalty == 0.0 {
+            serial_penalty = rem.p50 as f64 / fab.p50 as f64;
+        }
         t.row_owned(vec![
             label.to_string(),
             format!("{think}/{window}"),
@@ -131,7 +140,25 @@ pub fn run(quick: bool) -> String {
          wires in for free (E10). Either way the FPGA never needed a host of its\n\
          own (§6 Q3)."
     );
-    out
+    let metrics = Json::obj()
+        .set("func_cycles", FUNC_CYCLES)
+        .set("patterns", patterns.len())
+        .set(
+            "remote_penalty_p50_serial",
+            (serial_penalty * 100.0).round() / 100.0,
+        );
+    ExperimentReport::new(
+        "E12",
+        "In-fabric vs remote-CPU service hosting",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

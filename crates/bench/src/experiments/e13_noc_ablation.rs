@@ -11,6 +11,7 @@
 //! - **soft vs hardened preset** — the §4.3 argument for hardened NoCs in
 //!   one row.
 
+use crate::report::{ExperimentReport, Json};
 use crate::table::TextTable;
 use apiary_noc::{Message, Noc, NocConfig, NodeId, TrafficClass};
 use apiary_sim::SimRng;
@@ -20,6 +21,7 @@ struct Point {
     p50: u64,
     p99: u64,
     delivered_per_cycle: f64,
+    cycles: u64,
 }
 
 /// Uniform random traffic, mixed message sizes, fixed offered load.
@@ -59,11 +61,12 @@ fn measure(cfg: NocConfig, cycles: u64, seed: u64) -> Point {
         p50: st.latency.p50(),
         p99: st.latency.p99(),
         delivered_per_cycle: st.delivered as f64 / measured as f64,
+        cycles: st.cycles,
     }
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let cycles = if quick { 4_000 } else { 30_000 };
     let mut out = String::new();
     let _ = writeln!(
@@ -73,8 +76,17 @@ pub fn run(quick: bool) -> String {
 
     let base = NocConfig::soft(4, 4);
     let mut t = TextTable::new(&["variant", "p50", "p99", "delivered msg/cyc"]);
-    let add = |name: String, cfg: NocConfig, t: &mut TextTable| {
+    let mut sim_cycles = 0u64;
+    let mut variants = Vec::new();
+    let mut add = |name: String, cfg: NocConfig, t: &mut TextTable| {
         let p = measure(cfg, cycles, 1234);
+        sim_cycles += p.cycles;
+        variants.push(
+            Json::obj()
+                .set("variant", name.clone())
+                .set("p50", p.p50)
+                .set("p99", p.p99),
+        );
         t.row_owned(vec![
             name,
             p.p50.to_string(),
@@ -128,7 +140,32 @@ pub fn run(quick: bool) -> String {
          flits and zero-bubble hops — the quantitative case for §4.3's preference\n\
          for hardened NoCs."
     );
-    out
+    let soft_p50 = variants
+        .iter()
+        .find(|v| v.get("variant") == Some(&Json::Str("preset: soft".into())))
+        .and_then(|v| v.get("p50").cloned())
+        .unwrap_or(Json::Null);
+    let hard_p50 = variants
+        .iter()
+        .find(|v| v.get("variant") == Some(&Json::Str("preset: hardened".into())))
+        .and_then(|v| v.get("p50").cloned())
+        .unwrap_or(Json::Null);
+    let metrics = Json::obj()
+        .set("soft_p50", soft_p50)
+        .set("hardened_p50", hard_p50)
+        .set("variants", Json::Arr(variants));
+    ExperimentReport::new(
+        "E13",
+        "NoC design ablations: buffers, flit width, hop latency, presets",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

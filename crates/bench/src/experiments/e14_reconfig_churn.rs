@@ -13,6 +13,7 @@
 //!    the outage a swap inflicts on live traffic (bounded, fail-stop
 //!    semantics — never a hang).
 
+use crate::report::{ExperimentReport, Json};
 use crate::scenarios::MonitorClient;
 use crate::table::TextTable;
 use apiary_accel::apps::echo::echo;
@@ -23,13 +24,14 @@ use apiary_noc::NodeId;
 use apiary_sim::Cycle;
 use core::fmt::Write;
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "E14: Partial-reconfiguration churn (ICAP at 4 B/cycle)\n"
     );
+    let mut metrics = Json::obj();
 
     // Part 1: swap latency vs bitstream size.
     let mut t = TextTable::new(&[
@@ -54,6 +56,9 @@ pub fn run(quick: bool) -> String {
             bytes,
         );
         let cycles = done.as_u64();
+        if bytes == 256 << 10 {
+            metrics.put("swap_cycles_256kib", cycles);
+        }
         let us = cycles as f64 * 0.004;
         t.row_owned(vec![
             label.to_string(),
@@ -103,6 +108,8 @@ pub fn run(quick: bool) -> String {
         "errors+lost",
         "availability",
     ]);
+    let mut sim_cycles = 0u64;
+    let mut availabilities = Vec::new();
     for period in [200_000u64, 400_000, 800_000] {
         let client = NodeId(0);
         let server = NodeId(5);
@@ -148,14 +155,21 @@ pub fn run(quick: bool) -> String {
             }
         }
         assert!(c.done(), "churn run stalled");
+        sim_cycles += sys.now().as_u64();
         let ok = c.completed - c.errors;
         let bad = c.errors + c.lost;
+        let avail = 100.0 * ok as f64 / (ok + bad) as f64;
+        availabilities.push(
+            Json::obj()
+                .set("period", period)
+                .set("availability_pct", (avail * 10.0).round() / 10.0),
+        );
         t.row_owned(vec![
             period.to_string(),
             reconfigs.to_string(),
             ok.to_string(),
             bad.to_string(),
-            format!("{:.1}%", 100.0 * ok as f64 / (ok + bad) as f64),
+            format!("{avail:.1}%"),
         ]);
     }
     let _ = writeln!(
@@ -171,7 +185,19 @@ pub fn run(quick: bool) -> String {
          is simply uptime/(uptime+outage). Schedulers in the AmorphOS/Coyote tradition\n\
          can multiplex Apiary tiles with exactly these constants."
     );
-    out
+    metrics.put("availability_under_churn", Json::Arr(availabilities));
+    ExperimentReport::new(
+        "E14",
+        "Partial-reconfiguration churn: swap latency, ICAP serialisation, availability",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! path to memory (monitor check -> NoC -> DRAM -> NoC) pipelines — an
 //! accelerator that keeps requests in flight hides most of the round trip.
 
+use crate::report::{ExperimentReport, Json};
 use crate::table::TextTable;
 use apiary_accel::apps::idle::idle;
 use apiary_cap::CapRef;
@@ -48,6 +49,7 @@ struct Outcome {
     bytes_per_cycle: f64,
     mean_latency: f64,
     row_hit_pct: f64,
+    cycles: u64,
 }
 
 /// Issues `count` reads of `read` bytes with `window` outstanding from a
@@ -117,11 +119,12 @@ fn measure(pattern: Pattern, window: usize, count: u64) -> Outcome {
         bytes_per_cycle: (completed * READ) as f64 / cycles as f64,
         mean_latency: latency_sum as f64 / completed as f64,
         row_hit_pct: 100.0 * hits as f64 / (hits + misses + conflicts).max(1) as f64,
+        cycles,
     }
 }
 
-/// Runs the experiment; returns the report text.
-pub fn run(quick: bool) -> String {
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
     let count = if quick { 40 } else { 300 };
     let mut out = String::new();
     let _ = writeln!(
@@ -136,9 +139,17 @@ pub fn run(quick: bool) -> String {
         "DRAM row hits",
     ]);
     let windows: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8] };
+    let mut sim_cycles = 0u64;
+    let mut peak_bw = 0.0f64;
+    let mut seq_row_hits = 0.0;
     for pattern in [Pattern::Sequential, Pattern::Strided, Pattern::Random] {
         for &w in windows {
             let o = measure(pattern, w, count);
+            sim_cycles += o.cycles;
+            peak_bw = peak_bw.max(o.bytes_per_cycle);
+            if pattern == Pattern::Sequential && w == *windows.last().unwrap() {
+                seq_row_hits = o.row_hit_pct;
+            }
             t.row_owned(vec![
                 pattern.name().to_string(),
                 w.to_string(),
@@ -158,7 +169,22 @@ pub fn run(quick: bool) -> String {
          them. The §2 accelerators get near-wire memory bandwidth with a handful of\n\
          outstanding requests — no shared-virtual-memory machinery required (§4.6)."
     );
-    out
+    let metrics = Json::obj()
+        .set("reads_per_point", count)
+        .set("peak_bytes_per_cycle", (peak_bw * 100.0).round() / 100.0)
+        .set("seq_row_hit_pct", (seq_row_hits * 10.0).round() / 10.0);
+    ExperimentReport::new(
+        "E15",
+        "Memory-service bandwidth, latency, and DRAM row behaviour",
+        sim_cycles,
+        metrics,
+        out,
+    )
+}
+
+/// Runs the experiment; returns the report text.
+pub fn run(quick: bool) -> String {
+    report(quick).rendered
 }
 
 #[cfg(test)]

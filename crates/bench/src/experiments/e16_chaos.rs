@@ -15,6 +15,7 @@
 //! and the blast radius (tiles with any fault on record). Every run must
 //! drain — an injected fault may cost packets, never the network.
 
+use crate::report::{ExperimentReport, Json};
 use crate::scenarios::MonitorClient;
 use crate::table::TextTable;
 use apiary_accel::apps::echo::echo;
@@ -71,6 +72,8 @@ pub struct RunOutcome {
     pub router_stalls: u64,
     /// The post-run drain reached quiescence (must always be true).
     pub drained: bool,
+    /// Simulated cycles at the end of the run (load + drain).
+    pub sim_cycles: u64,
 }
 
 impl RunOutcome {
@@ -200,6 +203,7 @@ pub fn run_one(seed: u64, fault_rate: f64, recovery: bool, duration: u64) -> Run
         link_faults: st.link_faults,
         router_stalls: st.router_stalls,
         drained,
+        sim_cycles: sys.now().as_u64(),
     }
 }
 
@@ -339,6 +343,51 @@ impl ChaosReport {
         s.push_str("  ]\n}\n");
         s
     }
+}
+
+/// Runs the experiment; returns the structured report.
+pub fn report(quick: bool) -> ExperimentReport {
+    let r = execute(quick);
+    let sim_cycles = r.duration + r.runs.iter().map(|o| o.sim_cycles).sum::<u64>();
+    let mut metrics = Json::obj()
+        .set("duration_cycles", r.duration)
+        .set("baseline_ok", r.baseline_ok);
+    let mut cells = Vec::new();
+    for o in &r.runs {
+        cells.push(
+            Json::obj()
+                .set("fault_rate", o.fault_rate)
+                .set(
+                    "policy",
+                    if o.recovery {
+                        "supervisor"
+                    } else {
+                        "no-recovery"
+                    },
+                )
+                .set(
+                    "goodput_retention",
+                    (r.retention(o) * 10_000.0).round() / 10_000.0,
+                )
+                .set("incidents", o.incidents)
+                .set("mttr_mean", {
+                    if o.mttr.is_empty() {
+                        0u64
+                    } else {
+                        o.mttr.iter().sum::<u64>() / o.mttr.len() as u64
+                    }
+                })
+                .set("drained", o.drained),
+        );
+    }
+    metrics.put("runs", Json::Arr(cells));
+    ExperimentReport::new(
+        "E16",
+        "Chaos: goodput retention and MTTR under injected faults",
+        sim_cycles,
+        metrics,
+        r.render(),
+    )
 }
 
 /// Runs the experiment; returns the report text.

@@ -1,0 +1,29 @@
+//! The harness determinism contract: for any `--jobs` value the suite
+//! produces byte-identical reports (rendered text, metrics JSON, simulated
+//! cycle counts) in E1..E16 order. Only `wall_ms` may differ, and it is
+//! excluded from `deterministic_bytes`.
+
+use apiary_bench::harness;
+
+#[test]
+fn jobs_1_and_jobs_8_are_byte_identical() {
+    let serial = harness::run_suite(true, 1);
+    let parallel = harness::run_suite(true, 8);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a.id, format!("E{}", i + 1), "suite order");
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            a.deterministic_bytes(),
+            b.deterministic_bytes(),
+            "{} differs between --jobs 1 and --jobs 8",
+            a.id
+        );
+        assert_eq!(
+            a.metrics.render(),
+            b.metrics.render(),
+            "{} metrics JSON differs across job counts",
+            a.id
+        );
+    }
+}

@@ -170,6 +170,18 @@ pub struct Noc {
     /// no-progress valve that guarantees injected faults never deadlock the
     /// network.
     last_progress: u64,
+    /// Active-set scheduling: when true (the default) the per-cycle phases
+    /// skip nodes with no buffered work. A node whose router FIFOs, incoming
+    /// links and NIC are all empty cannot produce a move, an arrival or an
+    /// injection, so skipping it is exactly behaviour-preserving; the toggle
+    /// exists so the speedup can be measured against the dense scan.
+    active_set: bool,
+    /// Flits buffered in each node's router input FIFOs (all ports, VCs).
+    router_occ: Vec<usize>,
+    /// Flits in flight on each node's outgoing links (all four directions).
+    link_occ: Vec<usize>,
+    /// Packets queued in each node's NIC (all VCs).
+    nic_occ: Vec<usize>,
 }
 
 /// Marker in [`Noc::routes`] for "no live path".
@@ -219,6 +231,10 @@ impl Noc {
             rx_poisoned: HashSet::new(),
             fault_plane: None,
             last_progress: 0,
+            active_set: true,
+            router_occ: vec![0; n],
+            link_occ: vec![0; n],
+            nic_occ: vec![0; n],
             cfg,
         }
     }
@@ -283,6 +299,7 @@ impl Noc {
         self.next_packet += 1;
         let flits = packetize(msg, pid, self.cfg.flit_bytes, self.cfg.header_bytes);
         self.nic[from.index()][vc].push_back(flits.into());
+        self.nic_occ[from.index()] += 1;
         self.inject_time.insert(pid.0, self.now);
         self.in_flight += 1;
         self.stats.injected += 1;
@@ -292,6 +309,18 @@ impl Noc {
     /// Takes one delivered message at `node`, if any.
     pub fn poll_eject(&mut self, node: NodeId) -> Option<Delivered> {
         self.eject_q[node.index()].pop_front()
+    }
+
+    /// Delivered messages waiting at `node`, without taking any.
+    pub fn eject_pending(&self, node: NodeId) -> usize {
+        self.eject_q[node.index()].len()
+    }
+
+    /// Enables or disables active-set scheduling. On by default; results
+    /// are bit-identical either way (quiescent nodes can contribute no
+    /// work) — the switch exists so the speedup can be measured.
+    pub fn set_active_set(&mut self, on: bool) {
+        self.active_set = on;
     }
 
     /// Takes all delivered messages currently waiting at `node`.
@@ -608,6 +637,18 @@ impl Noc {
         if self.inject_time.remove(&pid).is_some() {
             self.in_flight -= 1;
         }
+        self.recount_occupancy();
+    }
+
+    /// Rebuilds the active-set occupancy counters from scratch. Only needed
+    /// after bulk removals ([`Noc::purge_packet`]'s retains); the per-flit
+    /// paths maintain the counters incrementally.
+    fn recount_occupancy(&mut self) {
+        for n in 0..self.mesh.nodes() {
+            self.router_occ[n] = self.routers[n].buffered();
+            self.link_occ[n] = self.links[n].iter().map(|l| l.len()).sum();
+            self.nic_occ[n] = self.nic[n].iter().map(|q| q.len()).sum();
+        }
     }
 
     /// All packets currently anywhere in the network, deduplicated and
@@ -703,6 +744,9 @@ impl Noc {
 
     fn phase_link_arrivals(&mut self) {
         for node in 0..self.mesh.nodes() {
+            if self.active_set && self.link_occ[node] == 0 {
+                continue;
+            }
             for (di, d) in DIRS.iter().enumerate() {
                 let Some(nb) = self.mesh.neighbor(NodeId(node as u16), *d) else {
                     continue;
@@ -713,12 +757,14 @@ impl Noc {
                         break;
                     }
                     let (_, flit) = self.links[node][di].pop_front().expect("peeked");
+                    self.link_occ[node] -= 1;
                     let fifo = &mut self.routers[nb.index()].inputs[in_port].fifos[flit.vc];
                     debug_assert!(
                         fifo.len() < self.cfg.vc_buffer,
                         "credit accounting must guarantee buffer space"
                     );
                     fifo.push_back(flit);
+                    self.router_occ[nb.index()] += 1;
                     self.last_progress = self.stats.cycles;
                 }
             }
@@ -731,6 +777,12 @@ impl Noc {
     fn phase_allocate(&self) -> Vec<Move> {
         let mut moves = Vec::new();
         for node in 0..self.mesh.nodes() {
+            // A router with no buffered flits cannot source a move: every
+            // move pops an input-FIFO head. Skipping it leaves `rr` and
+            // locks untouched, which is what the dense scan does too.
+            if self.active_set && self.router_occ[node] == 0 {
+                continue;
+            }
             if self.stalled(node) {
                 continue;
             }
@@ -795,6 +847,7 @@ impl Noc {
             let mut flit = self.routers[m.node].inputs[m.in_port].fifos[m.vc]
                 .pop_front()
                 .expect("move references a buffered flit");
+            self.router_occ[m.node] -= 1;
             // Wormhole lock maintenance.
             let lock = &mut self.routers[m.node].out_lock[m.out_port][m.vc];
             if flit.is_tail {
@@ -821,6 +874,7 @@ impl Noc {
                 }
                 let arrive = self.now + 1 + self.cfg.hop_latency;
                 self.links[m.node][di].push_back((arrive, flit));
+                self.link_occ[m.node] += 1;
                 self.link_flits[m.node][di] += 1;
                 self.stats.flit_hops += 1;
             }
@@ -902,6 +956,9 @@ impl Noc {
     fn phase_inject(&mut self) {
         let local = Port::Local.index();
         for node in 0..self.mesh.nodes() {
+            if self.active_set && self.nic_occ[node] == 0 {
+                continue;
+            }
             for vc in 0..self.cfg.vcs {
                 if self.routers[node].inputs[local].fifos[vc].len() >= self.cfg.vc_buffer {
                     continue;
@@ -912,8 +969,10 @@ impl Noc {
                 let flit = pkt.pop_front().expect("queued packets are never empty");
                 if pkt.is_empty() {
                     self.nic[node][vc].pop_front();
+                    self.nic_occ[node] -= 1;
                 }
                 self.routers[node].inputs[local].fifos[vc].push_back(flit);
+                self.router_occ[node] += 1;
                 self.last_progress = self.stats.cycles;
                 break; // One flit per node per cycle.
             }
@@ -1276,6 +1335,83 @@ mod fault_tests {
         assert_ne!(a.0, c.0, "different seed, different run");
         assert!(a.2 > 0, "a 2% plane must actually drop something");
         assert!(a.1 > 0, "most traffic still gets through");
+    }
+
+    #[test]
+    fn active_set_is_bit_identical_to_dense_scan() {
+        // Same chaotic workload with the active-set optimisation on and
+        // off: the delivered tag stream, delivery timestamps and every
+        // counter must agree exactly (the skipped nodes had no work).
+        let run = |active: bool| {
+            let mut noc = Noc::new(NocConfig::soft(4, 4));
+            noc.set_active_set(active);
+            noc.install_fault_plane(FaultPlane::new(FaultPlaneConfig::with_rate(77, 0.02)));
+            let mut delivered = Vec::new();
+            for round in 0..300u64 {
+                for s in 0..16u16 {
+                    // Leave most nodes idle most rounds so skipping matters.
+                    if (round + s as u64).is_multiple_of(5) {
+                        let mut m = msg(s, ((s as u64 + round) % 16) as u16, 48);
+                        m.tag = round << 16 | s as u64;
+                        let _ = noc.try_inject(NodeId(s), m);
+                    }
+                }
+                for _ in 0..8 {
+                    noc.tick();
+                }
+                for n in 0..16u16 {
+                    for d in noc.drain_eject(NodeId(n)) {
+                        delivered.push((d.msg.tag, d.delivered_at.as_u64()));
+                    }
+                }
+            }
+            assert!(noc.run_until_quiescent(2_000_000));
+            for n in 0..16u16 {
+                for d in noc.drain_eject(NodeId(n)) {
+                    delivered.push((d.msg.tag, d.delivered_at.as_u64()));
+                }
+            }
+            let st = noc.stats().clone();
+            (
+                delivered,
+                st.delivered,
+                st.dropped(),
+                st.corrupted_flits,
+                st.flit_hops,
+                st.latency.p50(),
+                st.latency.p99(),
+            )
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on, off, "active-set scheduling must not change behaviour");
+    }
+
+    #[test]
+    fn active_set_survives_purges_and_reroutes() {
+        // purge_packet rebuilds the occupancy counters; a kill mid-flight
+        // exercises that path. The run must still drain and stay accounted.
+        let run = |active: bool| {
+            let mut noc = Noc::new(NocConfig::soft(4, 4));
+            noc.set_active_set(active);
+            for s in 0..16u16 {
+                let _ = noc.try_inject(NodeId(s), msg(s, (s + 7) % 16, 400));
+            }
+            for _ in 0..10 {
+                noc.tick();
+            }
+            noc.kill_link(NodeId(1), Direction::East);
+            noc.kill_link(NodeId(5), Direction::North);
+            assert!(noc.run_until_quiescent(1_000_000));
+            let st = noc.stats().clone();
+            assert_eq!(st.delivered + st.dropped(), st.injected);
+            let tags: Vec<u64> = (0..16u16)
+                .flat_map(|n| noc.drain_eject(NodeId(n)))
+                .map(|d| d.msg.tag)
+                .collect();
+            (tags, st.delivered, st.dropped(), st.flit_hops)
+        };
+        assert_eq!(run(true), run(false));
     }
 }
 

@@ -55,7 +55,10 @@ impl Cycle {
     #[inline]
     pub fn as_nanos(self, freq_mhz: u64) -> u64 {
         // cycles / (MHz * 1e6) seconds = cycles * 1000 / MHz nanoseconds.
-        self.0.saturating_mul(1000) / freq_mhz.max(1)
+        // The multiply goes through u128: above ~1.8e16 cycles a u64
+        // `cycles * 1000` saturates and quietly caps the result.
+        let nanos = (self.0 as u128 * 1000) / freq_mhz.max(1) as u128;
+        u64::try_from(nanos).unwrap_or(u64::MAX)
     }
 }
 
@@ -165,6 +168,19 @@ mod tests {
         assert_eq!(Cycle(250).as_nanos(250), 1000);
         // Zero frequency must not divide by zero.
         assert_eq!(Cycle(250).as_nanos(0), 250_000);
+    }
+
+    #[test]
+    fn nanos_conversion_does_not_saturate_early() {
+        // 2^60 cycles at 1000 MHz is 2^60 ns — representable, but the old
+        // u64 `cycles * 1000` multiply saturated and returned a wrong cap.
+        let big = 1u64 << 60;
+        assert_eq!(Cycle(big).as_nanos(1000), big);
+        // At 250 MHz the true value (big * 4) overflows u64: clamp to MAX
+        // instead of returning a garbage quotient.
+        assert_eq!(Cycle(u64::MAX).as_nanos(250), u64::MAX);
+        // Boundary just below the old saturation point still exact.
+        assert_eq!(Cycle(u64::MAX / 1000).as_nanos(1000), u64::MAX / 1000);
     }
 
     #[test]

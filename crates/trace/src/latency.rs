@@ -45,14 +45,19 @@ impl LatencyTracker {
 
     /// Closes the span for `tag`, returning its latency in cycles, or `None`
     /// (and counting it) if no span was open.
+    ///
+    /// A response timestamped *before* its request is a forged or reordered
+    /// tag, not a zero-cycle round trip: it counts as unmatched and stays
+    /// out of the histogram (Cycle subtraction saturates, so `at - start`
+    /// would otherwise record a silent bogus 0).
     pub fn finish(&mut self, tag: u64, at: Cycle) -> Option<u64> {
         match self.open.remove(&tag) {
-            Some(start) => {
+            Some(start) if at >= start => {
                 let lat = at - start;
                 self.hist.record(lat);
                 Some(lat)
             }
-            None => {
+            Some(_) | None => {
                 self.unmatched += 1;
                 None
             }
@@ -114,6 +119,18 @@ mod tests {
         assert_eq!(lt.unmatched(), 1);
         // Latency measured from the restart.
         assert_eq!(lt.finish(1, Cycle(9)), Some(4));
+    }
+
+    #[test]
+    fn out_of_order_response_is_unmatched_not_zero() {
+        let mut lt = LatencyTracker::new();
+        lt.start(1, Cycle(100));
+        // Response "arrives" before the request was sent: a forged or
+        // reordered tag. It must not record a 0-cycle latency.
+        assert_eq!(lt.finish(1, Cycle(50)), None);
+        assert_eq!(lt.unmatched(), 1);
+        assert_eq!(lt.histogram().count(), 0);
+        assert_eq!(lt.open_count(), 0, "the bogus span is still closed");
     }
 
     #[test]
