@@ -2,8 +2,11 @@
 //! complete sweeps) on a scoped thread pool and writes the perf baseline.
 //!
 //! - `--jobs N` sets the worker count (default: available cores). Output is
-//!   byte-identical for any N: reports print in E1..E16 order and only
+//!   byte-identical for any N: reports print in E1..E17 order and only
 //!   `wall_ms` varies run to run.
+//! - `--det-check` runs the suite a second time on a single worker and
+//!   fails (exit 1) unless every report's deterministic portion is
+//!   byte-identical to the parallel run — the contract CI enforces.
 //! - Each experiment's structured result lands in `results/eNN_<name>.json`;
 //!   the aggregate (wall time, simulated cycles/sec, headline metrics, and
 //!   the measured NoC active-set speedup) in `results/BENCH_apiary.json`.
@@ -68,12 +71,13 @@ fn bench_active_set() -> Json {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = !args.iter().any(|a| a == "--full");
+    let det_check = args.iter().any(|a| a == "--det-check");
     let mut jobs = harness::default_jobs();
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
             Some(n) if n >= 1 => jobs = n,
             _ => {
-                eprintln!("usage: all_experiments [--full] [--jobs N]");
+                eprintln!("usage: all_experiments [--full] [--jobs N] [--det-check]");
                 std::process::exit(2);
             }
         }
@@ -82,6 +86,33 @@ fn main() {
     let suite_t0 = Instant::now();
     let reports = harness::run_suite(quick, jobs);
     let suite_wall_ms = suite_t0.elapsed().as_secs_f64() * 1000.0;
+
+    if det_check {
+        // Replay at a different worker count: every report must match the
+        // first run byte for byte (wall_ms excluded — the only timing
+        // field). On a single-core box the replay still uses two workers,
+        // so the check always crosses job counts.
+        let alt_jobs = if jobs == 1 { 2 } else { 1 };
+        let replay = harness::run_suite(quick, alt_jobs);
+        let mut mismatches = 0;
+        for (p, s) in reports.iter().zip(replay.iter()) {
+            if p.deterministic_bytes() != s.deterministic_bytes() {
+                eprintln!(
+                    "det-check: {} differs between --jobs {jobs} and --jobs {alt_jobs}",
+                    p.id
+                );
+                mismatches += 1;
+            }
+        }
+        if mismatches > 0 {
+            eprintln!("det-check FAILED: {mismatches} report(s) not byte-identical");
+            std::process::exit(1);
+        }
+        println!(
+            "det-check OK: {} reports byte-identical across --jobs {jobs} and --jobs {alt_jobs}",
+            reports.len()
+        );
+    }
 
     for r in &reports {
         println!("==================== {} ====================", r.id);

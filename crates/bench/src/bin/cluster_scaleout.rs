@@ -1,0 +1,16 @@
+//! Regenerates experiment e17_cluster_scaleout (see DESIGN.md §3). Pass
+//! `--quick` for a scaled-down run. Writes the structured result to
+//! `results/e17_cluster_scaleout.json` (the parent directory is created;
+//! a failed write exits non-zero).
+
+use apiary_bench::{harness, results};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = harness::run_one(
+        apiary_bench::experiments::e17_cluster_scaleout::report,
+        quick,
+    );
+    print!("{}", r.rendered);
+    results::write_result_or_exit(harness::result_file(r.id), &r.to_json());
+}

@@ -16,3 +16,4 @@ pub mod e13_noc_ablation;
 pub mod e14_reconfig_churn;
 pub mod e15_memory_service;
 pub mod e16_chaos;
+pub mod e17_cluster_scaleout;

@@ -217,7 +217,7 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
 /// One experiment's structured result.
 #[derive(Debug, Clone)]
 pub struct ExperimentReport {
-    /// Short identifier, `"E1"` .. `"E16"`.
+    /// Short identifier, `"E1"` .. `"E17"`.
     pub id: &'static str,
     /// One-line human title.
     pub title: &'static str,

@@ -1,6 +1,6 @@
 //! The harness determinism contract: for any `--jobs` value the suite
 //! produces byte-identical reports (rendered text, metrics JSON, simulated
-//! cycle counts) in E1..E16 order. Only `wall_ms` may differ, and it is
+//! cycle counts) in E1..E17 order. Only `wall_ms` may differ, and it is
 //! excluded from `deterministic_bytes`.
 
 use apiary_bench::harness;

@@ -71,6 +71,26 @@ pub enum CapKind {
     /// Authority to reconfigure the tile named by the id (load a new
     /// accelerator bitstream into its dynamic region).
     Reconfig(EndpointId),
+    /// Authority to invoke a logical service hosted on *another board* of a
+    /// multi-board fabric. The board id scopes the service name: local
+    /// monitors cannot resolve it, so the kernel forwards the invocation
+    /// through the board's egress proxy onto the inter-board fabric.
+    Remote {
+        /// Which board hosts the service.
+        board: u16,
+        /// The logical service on that board.
+        service: ServiceId,
+    },
+}
+
+impl CapKind {
+    /// The board a remote capability targets, or `None` for on-board kinds.
+    pub const fn remote_board(&self) -> Option<u16> {
+        match self {
+            CapKind::Remote { board, .. } => Some(*board),
+            _ => None,
+        }
+    }
 }
 
 /// A capability: an unforgeable (kind, rights, badge) triple held in a
@@ -188,6 +208,42 @@ mod tests {
             Rights::SEND | Rights::RECV,
         );
         assert!(!parent.can_derive(&amplified));
+    }
+
+    #[test]
+    fn remote_caps_carry_a_board_id_and_derive_like_endpoints() {
+        let parent = Capability::new(
+            CapKind::Remote {
+                board: 3,
+                service: ServiceId(7),
+            },
+            Rights::SEND | Rights::GRANT,
+        );
+        assert_eq!(parent.kind.remote_board(), Some(3));
+        assert_eq!(
+            Capability::new(CapKind::Endpoint(EndpointId(1)), Rights::SEND)
+                .kind
+                .remote_board(),
+            None
+        );
+        // Same board + service narrows fine; a different board is a
+        // different kind and cannot be derived.
+        let same = Capability::new(
+            CapKind::Remote {
+                board: 3,
+                service: ServiceId(7),
+            },
+            Rights::SEND,
+        );
+        assert!(parent.can_derive(&same));
+        let other_board = Capability::new(
+            CapKind::Remote {
+                board: 4,
+                service: ServiceId(7),
+            },
+            Rights::SEND,
+        );
+        assert!(!parent.can_derive(&other_board));
     }
 
     #[test]

@@ -1,0 +1,839 @@
+//! [`ClusterSystem`]: N boards, one fabric, one global directory.
+//!
+//! Each board is a full [`System`] with a **gateway tile** — an idle
+//! accelerator slot whose monitor the cluster kernel drives directly, the
+//! same pattern the bench harness uses for external clients. The gateway
+//! is both the board's ingress (remote invocations arrive here and are
+//! forwarded to the local replica over a normal capability send) and its
+//! egress proxy (local clients' remote invocations leave here).
+//!
+//! **Remote capability invocation.** When the directory steers a request
+//! to another board, the kernel mints a [`CapKind::Remote`] capability at
+//! the origin gateway — board id plus service id. A monitor cannot route
+//! it (there is no local node to resolve), which is the point: the *only*
+//! path for a remote cap is the egress proxy, which checks SEND rights on
+//! the cap table like any other send, then frames the invocation onto the
+//! fabric. Lease expiry revokes the cap, so authority over a vanished
+//! board's services does not outlive the directory's knowledge of them.
+//! The client keeps the retry/backoff and circuit breaker it already had
+//! ([`apiary_net::RequestGen`]): a remote invocation that times out is
+//! completed as an error, retried with backoff, and re-balanced — usually
+//! onto a different replica.
+//!
+//! **Determinism.** Boards tick in index order, the fabric in link-key
+//! order, directories and balancer state live in `BTreeMap`s, and every
+//! random draw comes from seeded [`apiary_sim::SimRng`] streams. The same
+//! config and seed replay byte-identically at any host parallelism — E17's
+//! CI check.
+
+use crate::balancer::Balancer;
+use crate::directory::Directory;
+use crate::fabric::{Body, ClusterMsg, Fabric, FabricConfig};
+use apiary_accel::apps::idle::idle;
+use apiary_cap::{CapKind, CapRef, Capability, Rights, ServiceId};
+use apiary_core::process::OS_APP;
+use apiary_core::supervisor::AccelFactory;
+use apiary_core::{AppId, FaultPolicy, System, SystemConfig, SystemError};
+use apiary_monitor::wire::{KIND_ERROR, KIND_REQUEST};
+use apiary_net::{BreakerConfig, BreakerState, RequestGen, RetryPolicy, Workload};
+use apiary_noc::{NodeId, TrafficClass};
+use apiary_sim::Cycle;
+use apiary_trace::{EventKind, LatencyTracker};
+use std::collections::BTreeMap;
+
+/// High bit marks gateway-local ingress tags, so a board can tell replies
+/// to forwarded remote work from replies to its own clients' local work.
+/// Client tags are `client_id << 32 | seq` with 32-bit ids, so the spaces
+/// cannot collide.
+const INGRESS_BIT: u64 = 1 << 63;
+
+/// Cluster configuration.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of boards.
+    pub boards: u16,
+    /// Per-board system configuration (every board is identical).
+    pub system: SystemConfig,
+    /// Inter-board network.
+    pub fabric: FabricConfig,
+    /// Which node on each board is the gateway tile.
+    pub gateway: NodeId,
+    /// Cycles between gossip rounds.
+    pub gossip_interval: u64,
+    /// Directory lease, cycles. Must comfortably exceed
+    /// `gossip_interval × boards` or healthy entries flap.
+    pub lease: u64,
+    /// Cluster-level request timeout: a request with no reply after this
+    /// many cycles is completed as an error (feeding the client's retry
+    /// policy and breaker).
+    pub request_timeout: u64,
+    /// Seed for the balancer's RNG.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            boards: 2,
+            system: SystemConfig::default(),
+            fabric: FabricConfig::default(),
+            gateway: NodeId(0),
+            gossip_interval: 500,
+            lease: 6_000,
+            request_timeout: 4_000,
+            seed: 0xC105_7E12,
+        }
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No live replica in the origin board's directory view.
+    NoReplica,
+    /// The origin board is dead (its NIC went with it).
+    OriginDead,
+    /// The gateway monitor refused the send (backpressure, rate limit, or
+    /// a capability failure).
+    Refused,
+}
+
+/// A finished request, surfaced to whichever client issued the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Board whose client issued the request.
+    pub origin: u16,
+    /// The client's correlation tag.
+    pub tag: u64,
+    /// Error reply, refused send, or timeout.
+    pub is_error: bool,
+}
+
+#[derive(Clone)]
+struct ReplicaMeta {
+    service: ServiceId,
+    node: NodeId,
+    app: AppId,
+    policy: FaultPolicy,
+}
+
+struct Republish {
+    name: String,
+    meta: ReplicaMeta,
+}
+
+struct Ingress {
+    src: u16,
+    tag: u64,
+}
+
+struct Pending {
+    origin: u16,
+    target: (u16, NodeId),
+    deadline: Cycle,
+}
+
+struct Board {
+    sys: System,
+    dir: Directory,
+    alive: bool,
+    /// Gateway caps to local replicas, by service id (from `attach_client`,
+    /// so they survive supervisor restarts and migrations).
+    local_caps: BTreeMap<u32, CapRef>,
+    /// Gateway caps for remote invocation, by `(board, service)`.
+    remote_caps: BTreeMap<(u16, u32), CapRef>,
+    /// Forwarded remote work in flight on this board, by local ingress tag.
+    ingress: BTreeMap<u64, Ingress>,
+    /// Locally deployed replicas, by name.
+    replicas: BTreeMap<String, ReplicaMeta>,
+    /// Reconfigurations whose directory entry awaits republish.
+    republish: Vec<Republish>,
+}
+
+/// The multi-board machine.
+pub struct ClusterSystem {
+    cfg: ClusterConfig,
+    ticks: u64,
+    boards: Vec<Board>,
+    fabric: Fabric,
+    balancer: Balancer,
+    pending: BTreeMap<u64, Pending>,
+    completions: Vec<Completion>,
+    next_ingress: u64,
+    /// Origin gateway → target-board ingress (outbound fabric hop).
+    pub fabric_out: LatencyTracker,
+    /// Target-board ingress → local replica reply (on-board time).
+    pub on_board: LatencyTracker,
+    /// Target-board reply → origin gateway (return fabric hop).
+    pub fabric_back: LatencyTracker,
+    /// Submit → successful completion, local and remote alike.
+    pub end_to_end: LatencyTracker,
+    /// Requests completed as errors by the cluster-level timeout.
+    pub timeouts: u64,
+    /// Fabric deliveries dropped because the destination board was dead.
+    pub dead_board_drops: u64,
+    /// Replies with no pending request (late replies to timed-out work).
+    pub stale_replies: u64,
+    /// Submits steered to the origin board itself.
+    pub local_submitted: u64,
+    /// Submits forwarded over the fabric.
+    pub remote_submitted: u64,
+    /// Submits the gateway monitor refused.
+    pub refused: u64,
+    /// Remote capabilities revoked on lease expiry.
+    pub caps_revoked: u64,
+}
+
+impl ClusterSystem {
+    /// Builds the cluster: `boards` identical systems, a gateway installed
+    /// on each, and the fabric between them.
+    pub fn new(cfg: ClusterConfig) -> ClusterSystem {
+        let mut boards = Vec::with_capacity(cfg.boards as usize);
+        for b in 0..cfg.boards {
+            let mut sys = System::new(cfg.system.clone());
+            sys.install(cfg.gateway, Box::new(idle()), OS_APP, FaultPolicy::FailStop)
+                .expect("gateway tile is free on a fresh board");
+            boards.push(Board {
+                sys,
+                dir: Directory::new(b, cfg.lease),
+                alive: true,
+                local_caps: BTreeMap::new(),
+                remote_caps: BTreeMap::new(),
+                ingress: BTreeMap::new(),
+                replicas: BTreeMap::new(),
+                republish: Vec::new(),
+            });
+        }
+        let fabric = Fabric::new(cfg.boards, cfg.fabric);
+        let balancer = Balancer::new(cfg.seed);
+        ClusterSystem {
+            cfg,
+            ticks: 0,
+            boards,
+            fabric,
+            balancer,
+            pending: BTreeMap::new(),
+            completions: Vec::new(),
+            next_ingress: 0,
+            fabric_out: LatencyTracker::new(),
+            on_board: LatencyTracker::new(),
+            fabric_back: LatencyTracker::new(),
+            end_to_end: LatencyTracker::new(),
+            timeouts: 0,
+            dead_board_drops: 0,
+            stale_replies: 0,
+            local_submitted: 0,
+            remote_submitted: 0,
+            refused: 0,
+            caps_revoked: 0,
+        }
+    }
+
+    /// Current cycle (all live boards tick in lockstep).
+    pub fn now(&self) -> Cycle {
+        Cycle(self.ticks)
+    }
+
+    /// One board's system.
+    pub fn board(&self, b: u16) -> &System {
+        &self.boards[b as usize].sys
+    }
+
+    /// One board's system, mutably (chaos injection, inspection).
+    pub fn board_mut(&mut self, b: u16) -> &mut System {
+        &mut self.boards[b as usize].sys
+    }
+
+    /// One board's directory view.
+    pub fn directory(&self, b: u16) -> &Directory {
+        &self.boards[b as usize].dir
+    }
+
+    /// The inter-board network.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The replica balancer.
+    pub fn balancer(&self) -> &Balancer {
+        &self.balancer
+    }
+
+    /// Whether a board is alive.
+    pub fn alive(&self, b: u16) -> bool {
+        self.boards[b as usize].alive
+    }
+
+    /// Remote capabilities currently held at a board's gateway.
+    pub fn remote_cap_count(&self, b: u16) -> usize {
+        self.boards[b as usize].remote_caps.len()
+    }
+
+    /// Count of `Remote` trace events recorded at a board's gateway.
+    pub fn remote_trace_count(&self, b: u16) -> u64 {
+        self.boards[b as usize]
+            .sys
+            .tile(self.cfg.gateway)
+            .monitor
+            .tracer()
+            .count(&EventKind::Remote {
+                phase: "",
+                board: 0,
+                tag: 0,
+            })
+    }
+
+    /// Deploys one replica of a named service: installs it under the
+    /// board's supervisor, wires the gateway as a client (the wiring
+    /// survives restarts and migrations), and publishes the binding in the
+    /// board's directory — gossip does the rest. Returns the displaced
+    /// binding if the name was already published here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_replica(
+        &mut self,
+        board: u16,
+        name: &str,
+        service: ServiceId,
+        node: NodeId,
+        app: AppId,
+        policy: FaultPolicy,
+        bitstream_bytes: u64,
+        factory: AccelFactory,
+    ) -> Result<Option<(ServiceId, NodeId)>, SystemError> {
+        let now = self.now();
+        let b = &mut self.boards[board as usize];
+        b.sys
+            .deploy_service(service, node, app, policy, bitstream_bytes, factory)?;
+        let cap = b.sys.attach_client(self.cfg.gateway, service)?;
+        b.local_caps.insert(service.0, cap);
+        b.replicas.insert(
+            name.to_string(),
+            ReplicaMeta {
+                service,
+                node,
+                app,
+                policy,
+            },
+        );
+        Ok(b.dir.publish(now, name, service, node))
+    }
+
+    /// Reconfigures the tile hosting a locally published replica:
+    /// **withdraw-then-republish**. The directory entry is tombstoned
+    /// before the bitstream starts loading (peers steer new work away as
+    /// gossip spreads), and republished — with the gateway re-wired — only
+    /// once the new accelerator is online. In-flight invocations against
+    /// the tile get monitor error replies and re-balance through the
+    /// client retry path.
+    pub fn reconfigure_replica(
+        &mut self,
+        board: u16,
+        name: &str,
+        factory: AccelFactory,
+        bitstream_bytes: u64,
+    ) -> Result<(), SystemError> {
+        let now = self.now();
+        let b = &mut self.boards[board as usize];
+        let meta = b
+            .replicas
+            .get(name)
+            .cloned()
+            .ok_or(SystemError::BadNode(NodeId(u16::MAX)))?;
+        b.dir.withdraw(now, name);
+        b.sys
+            .reconfigure(meta.node, factory(), meta.app, meta.policy, bitstream_bytes)?;
+        b.republish.push(Republish {
+            name: name.to_string(),
+            meta,
+        });
+        Ok(())
+    }
+
+    /// Kills a board: it stops ticking, its fabric links go down, its
+    /// leases stop renewing. The rest of the cluster routes around it once
+    /// timeouts raise its in-flight counts and lease expiry drops its
+    /// directory entries.
+    pub fn kill_board(&mut self, b: u16) {
+        self.boards[b as usize].alive = false;
+        self.fabric.set_link(b, None, false);
+    }
+
+    /// Cuts a link (board↔ToR in a star; the pair, or all of `a`'s links
+    /// when `b` is `None`, in a mesh).
+    pub fn cut_link(&mut self, a: u16, b: Option<u16>) {
+        self.fabric.set_link(a, b, false);
+    }
+
+    /// Restores a previously cut link.
+    pub fn restore_link(&mut self, a: u16, b: Option<u16>) {
+        self.fabric.set_link(a, b, true);
+    }
+
+    /// Submits a request from a client attached at `origin` for the named
+    /// service. The directory supplies live replicas, the balancer picks
+    /// one, and the invocation goes out locally or over the fabric.
+    /// Returns the chosen replica.
+    pub fn submit(
+        &mut self,
+        origin: u16,
+        name: &str,
+        tag: u64,
+        payload: Vec<u8>,
+    ) -> Result<(u16, NodeId), SubmitError> {
+        let now = self.now();
+        if !self.boards[origin as usize].alive {
+            return Err(SubmitError::OriginDead);
+        }
+        let candidates: Vec<(u16, NodeId, ServiceId)> = self.boards[origin as usize]
+            .dir
+            .lookup_all(now, name)
+            .into_iter()
+            .map(|e| (e.home, e.node, e.service))
+            .collect();
+        let keys: Vec<(u16, NodeId)> = candidates.iter().map(|c| (c.0, c.1)).collect();
+        let Some(k) = self.balancer.pick(&keys) else {
+            return Err(SubmitError::NoReplica);
+        };
+        let (tboard, tnode, service) = candidates[k];
+        let gw = self.cfg.gateway;
+        self.end_to_end.start(tag, now);
+        if tboard == origin {
+            let b = &mut self.boards[origin as usize];
+            let cap = b
+                .local_caps
+                .get(&service.0)
+                .copied()
+                .ok_or(SubmitError::NoReplica)?;
+            b.sys
+                .tile_mut(gw)
+                .monitor
+                .send(cap, KIND_REQUEST, tag, TrafficClass::Request, payload, now)
+                .map_err(|_| {
+                    self.refused += 1;
+                    SubmitError::Refused
+                })?;
+            self.local_submitted += 1;
+        } else {
+            let b = &mut self.boards[origin as usize];
+            // Mint (or reuse) the remote capability for this (board,
+            // service) and let the egress proxy check it like any send.
+            let cap = match b.remote_caps.get(&(tboard, service.0)) {
+                Some(c) => *c,
+                None => {
+                    let c = b
+                        .sys
+                        .tile_mut(gw)
+                        .monitor
+                        .install_cap(Capability::new(
+                            CapKind::Remote {
+                                board: tboard,
+                                service,
+                            },
+                            Rights::SEND,
+                        ))
+                        .map_err(|_| SubmitError::Refused)?;
+                    b.remote_caps.insert((tboard, service.0), c);
+                    c
+                }
+            };
+            if b.sys
+                .tile(gw)
+                .monitor
+                .caps()
+                .check(cap, Rights::SEND)
+                .is_err()
+            {
+                self.refused += 1;
+                return Err(SubmitError::Refused);
+            }
+            b.sys.tile_mut(gw).monitor.tracer_mut().record(
+                now,
+                gw.0,
+                EventKind::Remote {
+                    phase: "send",
+                    board: tboard,
+                    tag,
+                },
+            );
+            self.fabric_out.start(tag, now);
+            self.fabric.send(&ClusterMsg {
+                src: origin,
+                dst: tboard,
+                body: Body::Invoke {
+                    service: service.0,
+                    tag,
+                    payload,
+                },
+            });
+            self.remote_submitted += 1;
+        }
+        self.balancer.started((tboard, tnode));
+        self.pending.insert(
+            tag,
+            Pending {
+                origin,
+                target: (tboard, tnode),
+                deadline: now + self.cfg.request_timeout,
+            },
+        );
+        Ok((tboard, tnode))
+    }
+
+    /// Records a breaker-open transition observed at a board's client (the
+    /// board id in the event is the origin itself: the breaker guards the
+    /// whole fan-out, not one peer).
+    pub fn note_breaker_open(&mut self, origin: u16) {
+        let now = self.now();
+        let gw = self.cfg.gateway;
+        self.boards[origin as usize]
+            .sys
+            .tile_mut(gw)
+            .monitor
+            .tracer_mut()
+            .record(
+                now,
+                gw.0,
+                EventKind::Remote {
+                    phase: "breaker-open",
+                    board: origin,
+                    tag: 0,
+                },
+            );
+    }
+
+    /// Finished requests since the last call, in completion order.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Request traffic drained: nothing pending at the cluster level, no
+    /// forwarded work awaiting a local reply, every live board idle.
+    /// Gossip deliberately does not count — it is a periodic background
+    /// heartbeat and never "drains".
+    pub fn quiescent(&self) -> bool {
+        self.pending.is_empty()
+            && self
+                .boards
+                .iter()
+                .filter(|b| b.alive)
+                .all(|b| b.ingress.is_empty() && b.sys.is_idle())
+    }
+
+    fn finish_request(&mut self, tag: u64, is_error: bool, now: Cycle) {
+        match self.pending.remove(&tag) {
+            Some(p) => {
+                self.balancer.finished(p.target);
+                if !is_error {
+                    self.end_to_end.finish(tag, now);
+                }
+                self.completions.push(Completion {
+                    origin: p.origin,
+                    tag,
+                    is_error,
+                });
+            }
+            None => self.stale_replies += 1,
+        }
+    }
+
+    /// Advances the whole cluster by one cycle.
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+        let now = Cycle(self.ticks);
+        let gw = self.cfg.gateway;
+
+        // 1. Boards advance in index order; dead boards stay frozen.
+        for b in &mut self.boards {
+            if b.alive {
+                b.sys.tick();
+            }
+        }
+
+        // 2. Completed reconfigurations republish their directory entry.
+        for bi in 0..self.boards.len() {
+            if !self.boards[bi].alive {
+                continue;
+            }
+            let done: Vec<usize> = self.boards[bi]
+                .republish
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| self.boards[bi].sys.tile(r.meta.node).accel.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            for i in done.into_iter().rev() {
+                let r = self.boards[bi].republish.remove(i);
+                let b = &mut self.boards[bi];
+                // Re-wire: the reset wiped the replica tile's reply caps;
+                // attach_client reinstalls them and refreshes the
+                // gateway's service cap.
+                if let Ok(cap) = b.sys.attach_client(gw, r.meta.service) {
+                    b.local_caps.insert(r.meta.service.0, cap);
+                }
+                let _ = b.dir.publish(now, &r.name, r.meta.service, r.meta.node);
+            }
+        }
+
+        // 3. Gossip round: renew leases, sweep expiries (revoking remote
+        //    caps for entries that lapsed), push one snapshot round-robin.
+        if self.ticks.is_multiple_of(self.cfg.gossip_interval) {
+            let round = self.ticks / self.cfg.gossip_interval;
+            let n = self.boards.len() as u16;
+            for bi in 0..n {
+                if !self.boards[bi as usize].alive {
+                    continue;
+                }
+                let b = &mut self.boards[bi as usize];
+                b.dir.renew_local(now);
+                for dead in b.dir.sweep(now) {
+                    if dead.home == bi {
+                        continue;
+                    }
+                    if let Some(cap) = b.remote_caps.remove(&(dead.home, dead.service.0)) {
+                        if b.sys.tile_mut(gw).monitor.revoke_cap(cap).is_ok() {
+                            self.caps_revoked += 1;
+                        }
+                    }
+                }
+                if n > 1 {
+                    let peers: Vec<u16> = (0..n).filter(|&p| p != bi).collect();
+                    let partner = peers[(round as usize) % peers.len()];
+                    let snapshot = self.boards[bi as usize].dir.snapshot();
+                    self.fabric.send(&ClusterMsg {
+                        src: bi,
+                        dst: partner,
+                        body: Body::Gossip { entries: snapshot },
+                    });
+                }
+            }
+        }
+
+        // 4. Fabric: deliveries and ARQ retransmission attribution.
+        let (deliveries, retx) = self.fabric.tick(now);
+        for (src_board, n) in retx {
+            if !self.boards[src_board as usize].alive {
+                continue;
+            }
+            let tracer = self.boards[src_board as usize]
+                .sys
+                .tile_mut(gw)
+                .monitor
+                .tracer_mut();
+            for _ in 0..n {
+                tracer.record(
+                    now,
+                    gw.0,
+                    EventKind::Remote {
+                        phase: "retransmit",
+                        board: src_board,
+                        tag: 0,
+                    },
+                );
+            }
+        }
+        for msg in deliveries {
+            if !self.boards[msg.dst as usize].alive {
+                self.dead_board_drops += 1;
+                continue;
+            }
+            match msg.body {
+                Body::Invoke {
+                    service,
+                    tag,
+                    payload,
+                } => {
+                    self.fabric_out.finish(tag, now);
+                    let b = &mut self.boards[msg.dst as usize];
+                    let cap = b.local_caps.get(&service).copied();
+                    let home = b.sys.service_home(ServiceId(service));
+                    let forwarded = match (cap, home) {
+                        (Some(cap), Some(_)) => {
+                            let ltag = INGRESS_BIT | self.next_ingress;
+                            self.next_ingress += 1;
+                            match b.sys.tile_mut(gw).monitor.send(
+                                cap,
+                                KIND_REQUEST,
+                                ltag,
+                                TrafficClass::Request,
+                                payload,
+                                now,
+                            ) {
+                                Ok(()) => {
+                                    b.ingress.insert(ltag, Ingress { src: msg.src, tag });
+                                    self.on_board.start(tag, now);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        }
+                        _ => false,
+                    };
+                    if !forwarded {
+                        self.fabric.send(&ClusterMsg {
+                            src: msg.dst,
+                            dst: msg.src,
+                            body: Body::Reply {
+                                tag,
+                                is_error: true,
+                                payload: vec![apiary_monitor::wire::err::NO_SUCH_SERVICE],
+                            },
+                        });
+                    }
+                }
+                Body::Reply {
+                    tag,
+                    is_error,
+                    payload: _,
+                } => {
+                    self.fabric_back.finish(tag, now);
+                    self.boards[msg.dst as usize]
+                        .sys
+                        .tile_mut(gw)
+                        .monitor
+                        .tracer_mut()
+                        .record(
+                            now,
+                            gw.0,
+                            EventKind::Remote {
+                                phase: "reply",
+                                board: msg.src,
+                                tag,
+                            },
+                        );
+                    self.finish_request(tag, is_error, now);
+                }
+                Body::Gossip { entries } => {
+                    self.boards[msg.dst as usize].dir.merge(&entries);
+                }
+            }
+        }
+
+        // 5. Drain gateway inboxes: replies to local submits complete
+        //    directly; replies to forwarded ingress go back over the
+        //    fabric.
+        for bi in 0..self.boards.len() {
+            if !self.boards[bi].alive {
+                continue;
+            }
+            while let Some(d) = self.boards[bi].sys.tile_mut(gw).monitor.recv() {
+                let is_error = d.msg.kind == KIND_ERROR;
+                if d.msg.tag & INGRESS_BIT != 0 {
+                    if let Some(ing) = self.boards[bi].ingress.remove(&d.msg.tag) {
+                        self.on_board.finish(ing.tag, now);
+                        self.fabric_back.start(ing.tag, now);
+                        self.fabric.send(&ClusterMsg {
+                            src: bi as u16,
+                            dst: ing.src,
+                            body: Body::Reply {
+                                tag: ing.tag,
+                                is_error,
+                                payload: d.msg.payload,
+                            },
+                        });
+                    }
+                } else {
+                    self.finish_request(d.msg.tag, is_error, now);
+                }
+            }
+        }
+
+        // 6. Cluster-level timeouts feed the client retry path.
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&t, _)| t)
+            .collect();
+        for tag in expired {
+            let p = self.pending.remove(&tag).expect("listed above");
+            self.balancer.finished(p.target);
+            self.timeouts += 1;
+            self.completions.push(Completion {
+                origin: p.origin,
+                tag,
+                is_error: true,
+            });
+        }
+    }
+
+    /// Ticks `n` cycles.
+    pub fn tick_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+}
+
+/// One external client: a [`RequestGen`] (workload, retry policy, circuit
+/// breaker) attached at a board's network ingress.
+pub struct ClusterClient {
+    /// The load generator (owns stats: issued, completed, errors, retries,
+    /// shed, RTT histogram).
+    pub gen: RequestGen,
+    /// Board this client's traffic enters at.
+    pub origin: u16,
+    /// Service it invokes.
+    pub service_name: String,
+    /// Submits refused because no live replica was visible.
+    pub no_replica: u64,
+    last_breaker: Option<BreakerState>,
+}
+
+impl ClusterClient {
+    /// Creates a client with retries and a breaker armed (the end-to-end
+    /// resilience path E17 exercises).
+    pub fn new(
+        client_id: u32,
+        origin: u16,
+        service_name: &str,
+        payload_bytes: usize,
+        workload: Workload,
+        seed: u64,
+    ) -> ClusterClient {
+        ClusterClient {
+            gen: RequestGen::new(client_id, 0, payload_bytes, workload, seed)
+                .with_retry(RetryPolicy::default())
+                .with_breaker(BreakerConfig::default()),
+            origin,
+            service_name: service_name.to_string(),
+            no_replica: 0,
+            last_breaker: None,
+        }
+    }
+
+    /// Whether `tag` belongs to this client's generator.
+    pub fn owns(&self, tag: u64) -> bool {
+        (tag >> 32) as u32 == self.gen.client_id
+    }
+}
+
+/// One driver step for a set of clients: deliver completions, then issue
+/// new arrivals and due retries, recording breaker-open transitions.
+/// Call once per [`ClusterSystem::tick`].
+pub fn drive_clients(cluster: &mut ClusterSystem, clients: &mut [ClusterClient]) {
+    let now = cluster.now();
+    for c in cluster.take_completions() {
+        if let Some(cl) = clients.iter_mut().find(|cl| cl.owns(c.tag)) {
+            cl.gen.complete(c.tag, now, c.is_error);
+        }
+    }
+    for cl in clients.iter_mut() {
+        for tag in cl.gen.poll(now) {
+            let payload = vec![0u8; cl.gen.payload_bytes];
+            match cluster.submit(cl.origin, &cl.service_name, tag, payload) {
+                Ok(_) => {}
+                Err(e) => {
+                    if e == SubmitError::NoReplica {
+                        cl.no_replica += 1;
+                    }
+                    cl.gen.complete(tag, now, true);
+                }
+            }
+        }
+        let state = cl.gen.breaker_state();
+        if state == Some(BreakerState::Open) && cl.last_breaker != Some(BreakerState::Open) {
+            cluster.note_breaker_open(cl.origin);
+        }
+        cl.last_breaker = state;
+    }
+}

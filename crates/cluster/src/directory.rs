@@ -1,0 +1,322 @@
+//! The global service directory.
+//!
+//! `core/registry.rs` answers "which node serves `kv-store`?" for one
+//! board. Across boards the same question needs a *home* scope (which
+//! board published the binding), a liveness story (a board that dies must
+//! stop being an answer), and a distribution story (no central registry —
+//! the whole point of scale-out is surviving any single board).
+//!
+//! Each board runs one [`Directory`]. Entries are keyed `(name, home
+//! board)` so replicas of one service on different boards coexist; each
+//! entry carries a version counter and a lease deadline. The home board is
+//! the only writer for its own entries: publish, withdraw (a tombstone, so
+//! the removal propagates rather than resurrects) and periodic renewal all
+//! bump the version. Anti-entropy gossip pushes full snapshots between
+//! boards; [`Directory::merge`] keeps whichever version is newer. Liveness
+//! falls out of the lease: a dead board stops renewing, its versions stop
+//! advancing, and every other board expires its entries within one lease —
+//! that expiry is what fails the load balancer over.
+
+use apiary_cap::ServiceId;
+use apiary_noc::NodeId;
+use apiary_sim::Cycle;
+use std::collections::BTreeMap;
+
+/// One replica binding in the global directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Logical service name.
+    pub name: String,
+    /// Board that published (and owns) this binding.
+    pub home: u16,
+    /// Node hosting the replica on its home board.
+    pub node: NodeId,
+    /// The service id clients invoke.
+    pub service: ServiceId,
+    /// Monotonic per-entry version; every mutation by the home board
+    /// (publish, withdraw, lease renewal) bumps it, so gossip can order
+    /// conflicting copies.
+    pub version: u64,
+    /// Lease deadline: the entry (or its tombstone) is dead after this.
+    pub expires_at: Cycle,
+    /// Tombstone flag: the home board withdrew the binding.
+    pub withdrawn: bool,
+}
+
+impl DirEntry {
+    /// Live means: not withdrawn and the lease has not lapsed.
+    pub fn live(&self, now: Cycle) -> bool {
+        !self.withdrawn && self.expires_at > now
+    }
+}
+
+/// One board's view of the cluster-wide service directory.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    board: u16,
+    lease: u64,
+    entries: BTreeMap<(String, u16), DirEntry>,
+    /// Publishes that displaced a live binding of the same name here.
+    pub displaced: u64,
+    /// Entries accepted from gossip (newer version than ours).
+    pub merged_in: u64,
+    /// Entries dropped by lease expiry.
+    pub expired: u64,
+}
+
+impl Directory {
+    /// Creates the directory for `board` with the given lease (cycles).
+    pub fn new(board: u16, lease: u64) -> Directory {
+        Directory {
+            board,
+            lease,
+            entries: BTreeMap::new(),
+            displaced: 0,
+            merged_in: 0,
+            expired: 0,
+        }
+    }
+
+    /// The board this directory is authoritative for.
+    pub fn board(&self) -> u16 {
+        self.board
+    }
+
+    /// Publishes a local binding. Like
+    /// [`apiary_core::registry::RegistryService::publish`], the displaced
+    /// live binding (if any) is returned so the kernel can notice a squat
+    /// instead of silently replacing it.
+    pub fn publish(
+        &mut self,
+        now: Cycle,
+        name: &str,
+        service: ServiceId,
+        node: NodeId,
+    ) -> Option<(ServiceId, NodeId)> {
+        let key = (name.to_string(), self.board);
+        let version = self.entries.get(&key).map_or(1, |e| e.version + 1);
+        let old = self.entries.insert(
+            key,
+            DirEntry {
+                name: name.to_string(),
+                home: self.board,
+                node,
+                service,
+                version,
+                expires_at: now + self.lease,
+                withdrawn: false,
+            },
+        );
+        match old {
+            Some(e) if e.live(now) => {
+                self.displaced += 1;
+                Some((e.service, e.node))
+            }
+            _ => None,
+        }
+    }
+
+    /// Withdraws a local binding, leaving a versioned tombstone that gossip
+    /// propagates (deleting outright would let a peer's stale copy
+    /// resurrect the entry). Returns whether a live binding existed.
+    pub fn withdraw(&mut self, now: Cycle, name: &str) -> bool {
+        let key = (name.to_string(), self.board);
+        match self.entries.get_mut(&key) {
+            Some(e) if e.live(now) => {
+                e.withdrawn = true;
+                e.version += 1;
+                e.expires_at = now + self.lease;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Renews the lease on every live local entry, bumping versions so the
+    /// renewal propagates through gossip. The home board calls this each
+    /// gossip round; a dead board stops calling it, which is exactly how
+    /// the rest of the cluster finds out.
+    pub fn renew_local(&mut self, now: Cycle) {
+        for e in self.entries.values_mut() {
+            if e.home == self.board && e.live(now) {
+                e.version += 1;
+                e.expires_at = now + self.lease;
+            }
+        }
+    }
+
+    /// Merges a gossiped snapshot: for entries about *other* boards, the
+    /// higher version wins; entries claiming our own board are ignored (we
+    /// are authoritative for ourselves — accepting them would let a stale
+    /// peer resurrect our withdrawn services).
+    pub fn merge(&mut self, entries: &[DirEntry]) {
+        for e in entries {
+            if e.home == self.board {
+                continue;
+            }
+            let key = (e.name.clone(), e.home);
+            match self.entries.get(&key) {
+                Some(ours) if ours.version >= e.version => {}
+                _ => {
+                    self.entries.insert(key, e.clone());
+                    self.merged_in += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops entries (and tombstones) whose lease has lapsed, returning
+    /// them so the kernel can revoke any capabilities minted against them.
+    pub fn sweep(&mut self, now: Cycle) -> Vec<DirEntry> {
+        let dead: Vec<(String, u16)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.expires_at <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut out = Vec::with_capacity(dead.len());
+        for k in dead {
+            if let Some(e) = self.entries.remove(&k) {
+                self.expired += 1;
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// Every live replica of `name`, in home-board order (deterministic:
+    /// the map is keyed `(name, home)`).
+    pub fn lookup_all(&self, now: Cycle, name: &str) -> Vec<&DirEntry> {
+        self.entries
+            .range((name.to_string(), 0)..=(name.to_string(), u16::MAX))
+            .map(|(_, e)| e)
+            .filter(|e| e.live(now))
+            .collect()
+    }
+
+    /// The live local binding for `name`, if any.
+    pub fn lookup_local(&self, now: Cycle, name: &str) -> Option<&DirEntry> {
+        self.entries
+            .get(&(name.to_string(), self.board))
+            .filter(|e| e.live(now))
+    }
+
+    /// Full-state snapshot for anti-entropy gossip (tombstones included).
+    pub fn snapshot(&self) -> Vec<DirEntry> {
+        self.entries.values().cloned().collect()
+    }
+
+    /// Total entries held, tombstones included.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEASE: u64 = 100;
+
+    fn dir(board: u16) -> Directory {
+        Directory::new(board, LEASE)
+    }
+
+    #[test]
+    fn publish_lookup_and_displacement() {
+        let mut d = dir(0);
+        assert_eq!(d.publish(Cycle(0), "kv", ServiceId(7), NodeId(3)), None);
+        assert_eq!(d.lookup_all(Cycle(1), "kv").len(), 1);
+        // Republishing the same name displaces the live binding.
+        assert_eq!(
+            d.publish(Cycle(1), "kv", ServiceId(8), NodeId(4)),
+            Some((ServiceId(7), NodeId(3)))
+        );
+        assert_eq!(d.displaced, 1);
+        let live = d.lookup_all(Cycle(2), "kv");
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].service, ServiceId(8));
+    }
+
+    #[test]
+    fn replicas_on_different_boards_coexist() {
+        let mut a = dir(0);
+        let mut b = dir(1);
+        assert_eq!(a.publish(Cycle(0), "kv", ServiceId(7), NodeId(3)), None);
+        assert_eq!(b.publish(Cycle(0), "kv", ServiceId(7), NodeId(5)), None);
+        a.merge(&b.snapshot());
+        let live = a.lookup_all(Cycle(1), "kv");
+        assert_eq!(live.len(), 2);
+        assert_eq!((live[0].home, live[1].home), (0, 1));
+    }
+
+    #[test]
+    fn withdraw_tombstone_wins_over_stale_copy() {
+        let mut home = dir(0);
+        let mut peer = dir(1);
+        assert_eq!(home.publish(Cycle(0), "kv", ServiceId(7), NodeId(3)), None);
+        peer.merge(&home.snapshot());
+        assert_eq!(peer.lookup_all(Cycle(1), "kv").len(), 1);
+        // Home withdraws; the tombstone's higher version beats the peer's
+        // live copy, and the peer's stale snapshot cannot resurrect it.
+        assert!(home.withdraw(Cycle(2), "kv"));
+        let stale = peer.snapshot();
+        peer.merge(&home.snapshot());
+        assert!(peer.lookup_all(Cycle(3), "kv").is_empty());
+        home.merge(&stale);
+        assert!(home.lookup_all(Cycle(3), "kv").is_empty());
+    }
+
+    #[test]
+    fn lease_expiry_removes_unrenewed_entries() {
+        let mut home = dir(0);
+        let mut peer = dir(1);
+        assert_eq!(home.publish(Cycle(0), "kv", ServiceId(7), NodeId(3)), None);
+        peer.merge(&home.snapshot());
+        // Renewed entries survive the original deadline.
+        home.renew_local(Cycle(90));
+        peer.merge(&home.snapshot());
+        assert_eq!(peer.lookup_all(Cycle(150), "kv").len(), 1);
+        // Without further renewal (home board "dies"), the lease lapses.
+        assert!(peer.lookup_all(Cycle(190 + 1), "kv").is_empty());
+        let swept = peer.sweep(Cycle(191));
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].home, 0);
+        assert!(peer.is_empty());
+    }
+
+    #[test]
+    fn merge_ignores_claims_about_our_own_board() {
+        let mut home = dir(0);
+        assert_eq!(home.publish(Cycle(0), "kv", ServiceId(7), NodeId(3)), None);
+        let forged = vec![DirEntry {
+            name: "kv".into(),
+            home: 0,
+            node: NodeId(9),
+            service: ServiceId(99),
+            version: 1_000,
+            expires_at: Cycle(1_000_000),
+            withdrawn: false,
+        }];
+        home.merge(&forged);
+        let live = home.lookup_all(Cycle(1), "kv");
+        assert_eq!(live[0].service, ServiceId(7), "authority stays local");
+        assert_eq!(home.merged_in, 0);
+    }
+
+    #[test]
+    fn renewal_bumps_version_so_it_propagates() {
+        let mut home = dir(0);
+        assert_eq!(home.publish(Cycle(0), "kv", ServiceId(7), NodeId(3)), None);
+        let v0 = home.snapshot()[0].version;
+        home.renew_local(Cycle(10));
+        let snap = home.snapshot();
+        assert!(snap[0].version > v0);
+        assert_eq!(snap[0].expires_at, Cycle(10 + LEASE));
+    }
+}

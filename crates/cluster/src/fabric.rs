@@ -1,0 +1,655 @@
+//! The inter-board fabric.
+//!
+//! Boards are joined by the same primitives the single-board network
+//! service already trusts: [`Wire`] models each link's serialisation
+//! bandwidth and propagation delay (plus optional seeded loss), and the
+//! go-back-N ARQ from [`apiary_net::arq`] makes every link reliable — the
+//! fabric may delay or reorder *across* links but never loses or reorders
+//! *within* one. Two topologies:
+//!
+//! - **star**: every board has one uplink/downlink pair to a top-of-rack
+//!   switch that store-and-forwards on the destination header — one hop up,
+//!   one hop down, contention at the switch ports;
+//! - **full mesh**: a dedicated link pair per board pair — no switch, no
+//!   cross-traffic interference, more links.
+//!
+//! Chaos hooks ([`Fabric::set_link`]) cut or restore links; a cut link
+//! drops frames in both directions and the ARQ retransmits once it heals,
+//! so a *transient* cut costs latency while a *permanent* one strands
+//! traffic until lease expiry fails the directory over.
+//!
+//! Everything ticks in `BTreeMap` key order, so a fabric built from the
+//! same config and seed replays byte-identically.
+
+use crate::directory::DirEntry;
+use apiary_cap::ServiceId;
+use apiary_net::arq::{Ack, GoBackNReceiver, GoBackNSender, Packet};
+use apiary_net::{Frame, Wire};
+use apiary_noc::NodeId;
+use apiary_sim::Cycle;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Endpoint id of the top-of-rack switch (star topology only).
+const TOR: u16 = u16::MAX;
+
+/// Fabric shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// All boards hang off one top-of-rack switch.
+    Star,
+    /// A direct link pair between every board pair.
+    FullMesh,
+}
+
+/// Per-link parameters (all links share them; asymmetric fabrics are not
+/// modelled).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Propagation delay, cycles.
+    pub latency: u64,
+    /// Serialisation bandwidth, bytes per cycle.
+    pub bytes_per_cycle: u64,
+    /// Per-frame loss probability (seeded per link from the fabric seed).
+    pub loss: f64,
+    /// Go-back-N window, packets.
+    pub arq_window: usize,
+    /// Go-back-N retransmission timeout, cycles.
+    pub arq_timeout: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: 200,
+            bytes_per_cycle: 16,
+            loss: 0.0,
+            arq_window: 64,
+            arq_timeout: 2_000,
+        }
+    }
+}
+
+/// Fabric configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Shape.
+    pub topology: Topology,
+    /// Link parameters.
+    pub link: LinkConfig,
+    /// Seed for link loss models.
+    pub seed: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            topology: Topology::Star,
+            link: LinkConfig::default(),
+            seed: 0xFAB,
+        }
+    }
+}
+
+/// A message between boards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMsg {
+    /// Originating board.
+    pub src: u16,
+    /// Destination board.
+    pub dst: u16,
+    /// What it carries.
+    pub body: Body,
+}
+
+/// Fabric message bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// Remote capability invocation: run `service` on the destination
+    /// board, reply with the end-to-end `tag`.
+    Invoke {
+        /// Target service id on the destination board.
+        service: u32,
+        /// End-to-end correlation tag.
+        tag: u64,
+        /// Request payload.
+        payload: Vec<u8>,
+    },
+    /// Response to an [`Body::Invoke`].
+    Reply {
+        /// End-to-end correlation tag.
+        tag: u64,
+        /// The invocation failed (service missing, tile fail-stopped, …).
+        is_error: bool,
+        /// Response payload.
+        payload: Vec<u8>,
+    },
+    /// Anti-entropy directory exchange.
+    Gossip {
+        /// Full snapshot of the sender's directory.
+        entries: Vec<DirEntry>,
+    },
+}
+
+impl ClusterMsg {
+    /// Serialises for the wire. The fabric routes on the decoded `dst`, so
+    /// the header rides in-band like any real switch expects.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.extend_from_slice(&self.dst.to_le_bytes());
+        match &self.body {
+            Body::Invoke {
+                service,
+                tag,
+                payload,
+            } => {
+                out.push(0);
+                out.extend_from_slice(&service.to_le_bytes());
+                out.extend_from_slice(&tag.to_le_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            Body::Reply {
+                tag,
+                is_error,
+                payload,
+            } => {
+                out.push(1);
+                out.push(u8::from(*is_error));
+                out.extend_from_slice(&tag.to_le_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            Body::Gossip { entries } => {
+                out.push(2);
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                for e in entries {
+                    out.extend_from_slice(&e.home.to_le_bytes());
+                    out.extend_from_slice(&e.node.0.to_le_bytes());
+                    out.extend_from_slice(&e.service.0.to_le_bytes());
+                    out.extend_from_slice(&e.version.to_le_bytes());
+                    out.extend_from_slice(&e.expires_at.0.to_le_bytes());
+                    out.push(u8::from(e.withdrawn));
+                    let name = e.name.as_bytes();
+                    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                    out.extend_from_slice(name);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a wire payload; `None` for malformed bytes.
+    pub fn decode(buf: &[u8]) -> Option<ClusterMsg> {
+        let mut r = Reader(buf);
+        let src = r.u16()?;
+        let dst = r.u16()?;
+        let body = match r.u8()? {
+            0 => {
+                let service = r.u32()?;
+                let tag = r.u64()?;
+                let len = r.u32()? as usize;
+                Body::Invoke {
+                    service,
+                    tag,
+                    payload: r.bytes(len)?.to_vec(),
+                }
+            }
+            1 => {
+                let is_error = r.u8()? != 0;
+                let tag = r.u64()?;
+                let len = r.u32()? as usize;
+                Body::Reply {
+                    tag,
+                    is_error,
+                    payload: r.bytes(len)?.to_vec(),
+                }
+            }
+            2 => {
+                let count = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let home = r.u16()?;
+                    let node = NodeId(r.u16()?);
+                    let service = ServiceId(r.u32()?);
+                    let version = r.u64()?;
+                    let expires_at = Cycle(r.u64()?);
+                    let withdrawn = r.u8()? != 0;
+                    let name_len = r.u16()? as usize;
+                    let name = String::from_utf8(r.bytes(name_len)?.to_vec()).ok()?;
+                    entries.push(DirEntry {
+                        name,
+                        home,
+                        node,
+                        service,
+                        version,
+                        expires_at,
+                        withdrawn,
+                    });
+                }
+                Body::Gossip { entries }
+            }
+            _ => return None,
+        };
+        if !r.0.is_empty() {
+            return None;
+        }
+        Some(ClusterMsg { src, dst, body })
+    }
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Some(head)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.bytes(1)?[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.bytes(2)?.try_into().ok()?))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+}
+
+/// One reliable directed link: wire + ARQ + an unbounded egress backlog
+/// (the egress proxy's queue — the ARQ window is the real admission gate).
+#[derive(Debug)]
+struct Link {
+    data: Wire,
+    acks: Wire,
+    tx: GoBackNSender,
+    rx: GoBackNReceiver,
+    backlog: VecDeque<Vec<u8>>,
+    up: bool,
+    cut_drops: u64,
+}
+
+impl Link {
+    fn new(cfg: &LinkConfig, seed: u64) -> Link {
+        let data = if cfg.loss > 0.0 {
+            Wire::with_loss(cfg.latency, cfg.bytes_per_cycle, cfg.loss, seed)
+        } else {
+            Wire::new(cfg.latency, cfg.bytes_per_cycle)
+        };
+        Link {
+            data,
+            // Acks are tiny and travel the reverse direction; loss on them
+            // only delays (cumulative acks), so they share the loss model
+            // through the data wire's retransmissions instead.
+            acks: Wire::new(cfg.latency, cfg.bytes_per_cycle),
+            tx: GoBackNSender::new(cfg.arq_window, cfg.arq_timeout),
+            rx: GoBackNReceiver::new(),
+            backlog: VecDeque::new(),
+            up: true,
+            cut_drops: 0,
+        }
+    }
+
+    /// One cycle: admit backlog into the ARQ window, transmit, receive,
+    /// ack. Returns delivered payloads and how many packets were
+    /// retransmitted this cycle.
+    fn pump(&mut self, now: Cycle) -> (Vec<Vec<u8>>, u64) {
+        let retx_before = self.tx.retransmissions;
+        while let Some(m) = self.backlog.front() {
+            if self.tx.offer(m.clone(), now) {
+                self.backlog.pop_front();
+            } else {
+                break;
+            }
+        }
+        for pkt in self.tx.poll(now) {
+            if self.up {
+                self.data.push(
+                    now,
+                    Frame {
+                        client: 0,
+                        port: 0,
+                        tag: pkt.seq,
+                        payload: pkt.payload,
+                    },
+                );
+            } else {
+                self.cut_drops += 1;
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(f) = self.data.pop_due(now) {
+            if !self.up {
+                self.cut_drops += 1;
+                continue;
+            }
+            let (delivered, ack) = self.rx.on_packet(Packet {
+                seq: f.tag,
+                payload: f.payload,
+            });
+            if let Some(d) = delivered {
+                out.push(d);
+            }
+            self.acks.push(
+                now,
+                Frame {
+                    client: 0,
+                    port: 0,
+                    tag: ack.next,
+                    payload: Vec::new(),
+                },
+            );
+        }
+        while let Some(a) = self.acks.pop_due(now) {
+            if self.up {
+                self.tx.on_ack(Ack { next: a.tag }, now);
+            } else {
+                self.cut_drops += 1;
+            }
+        }
+        (out, self.tx.retransmissions - retx_before)
+    }
+
+    fn idle(&self) -> bool {
+        self.backlog.is_empty() && self.tx.idle() && self.data.in_flight() == 0
+    }
+}
+
+/// Aggregate fabric counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Messages delivered to their destination board.
+    pub delivered: u64,
+    /// ARQ retransmissions across all links.
+    pub retransmissions: u64,
+    /// Frames dropped because a link was cut.
+    pub cut_drops: u64,
+    /// Frames dropped by the links' loss models.
+    pub loss_drops: u64,
+}
+
+/// The inter-board network.
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: FabricConfig,
+    boards: u16,
+    links: BTreeMap<(u16, u16), Link>,
+    delivered: u64,
+}
+
+impl Fabric {
+    /// Builds the fabric for `boards` boards.
+    pub fn new(boards: u16, cfg: FabricConfig) -> Fabric {
+        let mut links = BTreeMap::new();
+        let mut link_seed = cfg.seed;
+        let mut mk = |a: u16, b: u16, links: &mut BTreeMap<(u16, u16), Link>| {
+            link_seed = link_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(1);
+            links.insert((a, b), Link::new(&cfg.link, link_seed));
+        };
+        match cfg.topology {
+            Topology::Star => {
+                for b in 0..boards {
+                    mk(b, TOR, &mut links);
+                    mk(TOR, b, &mut links);
+                }
+            }
+            Topology::FullMesh => {
+                for a in 0..boards {
+                    for b in 0..boards {
+                        if a != b {
+                            mk(a, b, &mut links);
+                        }
+                    }
+                }
+            }
+        }
+        Fabric {
+            cfg,
+            boards,
+            links,
+            delivered: 0,
+        }
+    }
+
+    /// Number of boards the fabric joins.
+    pub fn boards(&self) -> u16 {
+        self.boards
+    }
+
+    /// Queues a message at its source board's egress.
+    pub fn send(&mut self, msg: &ClusterMsg) {
+        let first_hop = match self.cfg.topology {
+            Topology::Star => (msg.src, TOR),
+            Topology::FullMesh => (msg.src, msg.dst),
+        };
+        if let Some(l) = self.links.get_mut(&first_hop) {
+            l.backlog.push_back(msg.encode());
+        }
+    }
+
+    /// Cuts (`up = false`) or restores a link. `b = None` cuts the board's
+    /// uplink/downlink pair in a star, or *all* of its links in a mesh;
+    /// `b = Some(peer)` cuts the pair to one peer (mesh) or degrades to the
+    /// board's uplink (star — there is no per-peer link to cut).
+    pub fn set_link(&mut self, a: u16, b: Option<u16>, up: bool) {
+        let peers: Vec<(u16, u16)> = self
+            .links
+            .keys()
+            .copied()
+            .filter(|&(x, y)| match (self.cfg.topology, b) {
+                (Topology::Star, _) => x == a || y == a,
+                (Topology::FullMesh, None) => x == a || y == a,
+                (Topology::FullMesh, Some(p)) => (x, y) == (a, p) || (x, y) == (p, a),
+            })
+            .collect();
+        for k in peers {
+            if let Some(l) = self.links.get_mut(&k) {
+                l.up = up;
+            }
+        }
+    }
+
+    /// One cycle for every link, in deterministic key order. Star uplinks
+    /// sort before ToR downlinks, so a frame can be switched the same cycle
+    /// it reaches the ToR. Returns decoded deliveries plus per-source-board
+    /// retransmission counts for the tracer.
+    pub fn tick(&mut self, now: Cycle) -> (Vec<ClusterMsg>, Vec<(u16, u64)>) {
+        let keys: Vec<(u16, u16)> = self.links.keys().copied().collect();
+        let mut out = Vec::new();
+        let mut retx = Vec::new();
+        for key in keys {
+            let (payloads, r) = self.links.get_mut(&key).expect("key just listed").pump(now);
+            if r > 0 && key.0 != TOR {
+                retx.push((key.0, r));
+            }
+            for p in payloads {
+                let Some(msg) = ClusterMsg::decode(&p) else {
+                    continue;
+                };
+                if key.1 == TOR {
+                    // Store-and-forward at the switch: onto the downlink.
+                    if let Some(down) = self.links.get_mut(&(TOR, msg.dst)) {
+                        down.backlog.push_back(p);
+                    }
+                } else {
+                    self.delivered += 1;
+                    out.push(msg);
+                }
+            }
+        }
+        (out, retx)
+    }
+
+    /// Nothing queued, unacked, or in flight anywhere.
+    pub fn idle(&self) -> bool {
+        self.links.values().all(Link::idle)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> FabricStats {
+        let mut s = FabricStats {
+            delivered: self.delivered,
+            ..FabricStats::default()
+        };
+        for l in self.links.values() {
+            s.retransmissions += l.tx.retransmissions;
+            s.cut_drops += l.cut_drops;
+            s.loss_drops += l.data.dropped;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: u16, dst: u16, tag: u64) -> ClusterMsg {
+        ClusterMsg {
+            src,
+            dst,
+            body: Body::Invoke {
+                service: 7,
+                tag,
+                payload: vec![1, 2, 3],
+            },
+        }
+    }
+
+    fn run(f: &mut Fabric, from: Cycle, cycles: u64) -> Vec<ClusterMsg> {
+        let mut out = Vec::new();
+        for c in 0..cycles {
+            out.extend(f.tick(Cycle(from.0 + c)).0);
+        }
+        out
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        for m in [
+            msg(0, 3, 42),
+            ClusterMsg {
+                src: 2,
+                dst: 0,
+                body: Body::Reply {
+                    tag: 9,
+                    is_error: true,
+                    payload: vec![5],
+                },
+            },
+            ClusterMsg {
+                src: 1,
+                dst: 2,
+                body: Body::Gossip {
+                    entries: vec![DirEntry {
+                        name: "kv".into(),
+                        home: 1,
+                        node: NodeId(4),
+                        service: ServiceId(7),
+                        version: 3,
+                        expires_at: Cycle(500),
+                        withdrawn: false,
+                    }],
+                },
+            },
+        ] {
+            assert_eq!(ClusterMsg::decode(&m.encode()), Some(m));
+        }
+        assert_eq!(ClusterMsg::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn star_delivers_via_tor() {
+        let mut f = Fabric::new(4, FabricConfig::default());
+        f.send(&msg(0, 3, 1));
+        let got = run(&mut f, Cycle(0), 1_000);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].src, got[0].dst), (0, 3));
+        assert!(f.idle());
+        assert_eq!(f.stats().delivered, 1);
+    }
+
+    #[test]
+    fn mesh_is_faster_than_star() {
+        // Same link parameters: one direct hop beats up + switch + down.
+        let latency = |topology| {
+            let mut f = Fabric::new(
+                2,
+                FabricConfig {
+                    topology,
+                    ..FabricConfig::default()
+                },
+            );
+            f.send(&msg(0, 1, 1));
+            for c in 0..10_000 {
+                if !f.tick(Cycle(c)).0.is_empty() {
+                    return c;
+                }
+            }
+            panic!("never delivered");
+        };
+        assert!(latency(Topology::FullMesh) < latency(Topology::Star));
+    }
+
+    #[test]
+    fn links_preserve_order() {
+        let mut f = Fabric::new(2, FabricConfig::default());
+        for tag in 0..20 {
+            f.send(&msg(0, 1, tag));
+        }
+        let got = run(&mut f, Cycle(0), 5_000);
+        let tags: Vec<u64> = got
+            .iter()
+            .map(|m| match m.body {
+                Body::Invoke { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn transient_cut_heals_through_arq() {
+        let mut f = Fabric::new(2, FabricConfig::default());
+        f.send(&msg(0, 1, 1));
+        f.set_link(0, None, false);
+        let got = run(&mut f, Cycle(0), 3_000);
+        assert!(got.is_empty(), "cut link delivers nothing");
+        f.set_link(0, None, true);
+        let got = run(&mut f, Cycle(3_000), 10_000);
+        assert_eq!(got.len(), 1, "ARQ retransmits after the cut heals");
+        let s = f.stats();
+        assert!(s.retransmissions > 0);
+        assert!(s.cut_drops > 0);
+    }
+
+    #[test]
+    fn lossy_link_still_delivers_everything() {
+        let mut f = Fabric::new(
+            2,
+            FabricConfig {
+                topology: Topology::FullMesh,
+                link: LinkConfig {
+                    loss: 0.2,
+                    ..LinkConfig::default()
+                },
+                seed: 7,
+            },
+        );
+        for tag in 0..40 {
+            f.send(&msg(0, 1, tag));
+        }
+        let got = run(&mut f, Cycle(0), 200_000);
+        assert_eq!(got.len(), 40);
+        assert!(f.stats().loss_drops > 0, "the loss model actually fired");
+    }
+}

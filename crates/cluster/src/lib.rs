@@ -1,0 +1,40 @@
+//! Apiary scale-out: a multi-board fabric (§1's network-attached premise
+//! taken past a single card).
+//!
+//! One board is a full [`apiary_core::System`] — NoC, monitors, kernel,
+//! services. This crate joins N of them into one deterministic simulation:
+//!
+//! - [`fabric`] — the inter-board network, built from the same
+//!   [`apiary_net`] primitives the single-board network service uses:
+//!   [`apiary_net::Wire`] for serialisation + propagation and go-back-N ARQ
+//!   for reliability, arranged as a star through a top-of-rack switch or as
+//!   a direct full mesh, with cut/restore hooks for the chaos plane,
+//! - [`directory`] — the global service directory: each board's registry
+//!   grows node scoping, versioned lease-based entries, and anti-entropy
+//!   gossip, so every board eventually knows every replica of every named
+//!   service without any central coordinator,
+//! - [`balancer`] — replica selection by power-of-two-choices over
+//!   per-replica in-flight counts, the cheapest policy that still avoids
+//!   herding onto a dead or slow board,
+//! - [`cluster`] — [`cluster::ClusterSystem`]: the boards, the fabric, the
+//!   directory plumbing, and remote capability invocation — a
+//!   [`apiary_cap::CapKind::Remote`] capability held at a board's gateway
+//!   tile is forwarded by the kernel's egress proxy onto the fabric, with
+//!   the client-side retry/backoff and circuit breaker of
+//!   [`apiary_net::RequestGen`] applying end-to-end.
+//!
+//! Everything is seeded and ticked in board order: the same configuration
+//! and seed replay byte-identically regardless of host parallelism, which
+//! experiment E17 checks.
+
+pub mod balancer;
+pub mod cluster;
+pub mod directory;
+pub mod fabric;
+
+pub use balancer::Balancer;
+pub use cluster::{
+    drive_clients, ClusterClient, ClusterConfig, ClusterSystem, Completion, SubmitError,
+};
+pub use directory::{DirEntry, Directory};
+pub use fabric::{Body, ClusterMsg, Fabric, FabricConfig, LinkConfig, Topology};

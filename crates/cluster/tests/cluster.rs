@@ -1,0 +1,270 @@
+//! End-to-end cluster tests: remote invocation, gossip convergence,
+//! determinism, board-kill failover, link cuts, and reconfiguration churn.
+
+use apiary_accel::apps::echo::echo;
+use apiary_cap::ServiceId;
+use apiary_cluster::{drive_clients, ClusterClient, ClusterConfig, ClusterSystem};
+use apiary_core::{AppId, FaultPolicy};
+use apiary_net::Workload;
+use apiary_noc::NodeId;
+
+const KV: ServiceId = ServiceId(40);
+const REPLICA_NODE: NodeId = NodeId(5);
+const BITSTREAM: u64 = 4096; // 1024 cycles over the default 4 B/cycle ICAP.
+
+fn cluster(boards: u16) -> ClusterSystem {
+    ClusterSystem::new(ClusterConfig {
+        boards,
+        ..ClusterConfig::default()
+    })
+}
+
+fn deploy_echo(c: &mut ClusterSystem, board: u16, cost: u64) {
+    let displaced = c
+        .deploy_replica(
+            board,
+            "kv",
+            KV,
+            REPLICA_NODE,
+            AppId(1),
+            FaultPolicy::FailStop,
+            BITSTREAM,
+            Box::new(move || Box::new(echo(cost))),
+        )
+        .expect("deploy");
+    assert_eq!(displaced, None, "nothing displaced on a fresh board");
+}
+
+fn client(id: u32, origin: u16, mean_interarrival: f64) -> ClusterClient {
+    ClusterClient::new(
+        id,
+        origin,
+        "kv",
+        64,
+        Workload::Open { mean_interarrival },
+        1_000 + id as u64,
+    )
+}
+
+fn run(c: &mut ClusterSystem, clients: &mut [ClusterClient], cycles: u64) {
+    for _ in 0..cycles {
+        c.tick();
+        drive_clients(c, clients);
+    }
+}
+
+#[test]
+fn remote_invocation_round_trip() {
+    let mut c = cluster(2);
+    // The only replica lives on board 1; the client enters at board 0, so
+    // every request crosses the fabric.
+    deploy_echo(&mut c, 1, 20);
+    let mut clients = [client(1, 0, 400.0)];
+    run(&mut c, &mut clients, 30_000);
+
+    let stats = &clients[0].gen.stats;
+    assert!(stats.completed > 20, "completions: {stats:?}");
+    assert!(c.remote_submitted > 20);
+    assert_eq!(c.local_submitted, 0, "no local replica exists");
+    // Span events at the origin gateway: a send and a reply per request.
+    assert!(c.remote_trace_count(0) >= 2 * (stats.completed - stats.errors));
+    // Per-hop breakdown: both fabric hops cost at least the link
+    // propagation delay; on-board time is measured separately.
+    assert!(c.fabric_out.histogram().count() > 0);
+    assert!(c.fabric_out.histogram().min() >= 200);
+    assert!(c.fabric_back.histogram().min() >= 200);
+    assert!(c.on_board.histogram().count() > 0);
+    assert!(c.end_to_end.histogram().count() > 0);
+    let e2e_p50 = c.end_to_end.histogram().p50();
+    assert!(
+        e2e_p50 >= c.fabric_out.histogram().p50() + c.fabric_back.histogram().p50(),
+        "end-to-end covers both hops"
+    );
+    // One remote capability was minted at the origin for (board 1, kv).
+    assert_eq!(c.remote_cap_count(0), 1);
+}
+
+#[test]
+fn gossip_converges_to_every_replica() {
+    let mut c = cluster(4);
+    for b in 0..4 {
+        deploy_echo(&mut c, b, 20);
+    }
+    // No traffic, just gossip rounds.
+    c.tick_n(8_000);
+    for b in 0..4 {
+        let live = c.directory(b).lookup_all(c.now(), "kv");
+        assert_eq!(live.len(), 4, "board {b} sees all replicas");
+    }
+}
+
+fn fingerprint(boards: u16, cycles: u64) -> String {
+    let mut c = cluster(boards);
+    for b in 0..boards {
+        deploy_echo(&mut c, b, 60);
+    }
+    let mut clients: Vec<ClusterClient> = (0..boards)
+        .map(|b| client(b as u32 + 1, b, 150.0))
+        .collect();
+    run(&mut c, &mut clients, cycles);
+    let mut s = String::new();
+    use std::fmt::Write;
+    let _ = write!(
+        s,
+        "local={} remote={} timeouts={} stale={} refused={} revoked={} picks={} e2e=({},{},{})",
+        c.local_submitted,
+        c.remote_submitted,
+        c.timeouts,
+        c.stale_replies,
+        c.refused,
+        c.caps_revoked,
+        c.balancer().picks,
+        c.end_to_end.histogram().count(),
+        c.end_to_end.histogram().p50(),
+        c.end_to_end.histogram().p99(),
+    );
+    for b in 0..boards {
+        let _ = write!(s, " t{}={}", b, c.remote_trace_count(b));
+    }
+    for cl in &clients {
+        let _ = write!(
+            s,
+            " c{}=({},{},{},{})",
+            cl.gen.client_id,
+            cl.gen.stats.issued,
+            cl.gen.stats.completed,
+            cl.gen.stats.errors,
+            cl.gen.stats.retries,
+        );
+    }
+    s
+}
+
+#[test]
+fn same_seed_replays_byte_identically() {
+    let a = fingerprint(3, 12_000);
+    let b = fingerprint(3, 12_000);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn board_kill_fails_over_via_directory() {
+    let mut c = cluster(4);
+    for b in 0..4 {
+        deploy_echo(&mut c, b, 60);
+    }
+    // Clients on the three boards that will survive.
+    let mut clients: Vec<ClusterClient> = (0..3).map(|b| client(b as u32 + 1, b, 200.0)).collect();
+    run(&mut c, &mut clients, 10_000);
+    let before: u64 = clients.iter().map(|cl| cl.gen.stats.completed).sum();
+    assert!(before > 0);
+
+    c.kill_board(3);
+    run(&mut c, &mut clients, 30_000);
+
+    // Lease expiry removed the dead board everywhere and revoked any
+    // remote caps minted against it.
+    for b in 0..3 {
+        let live = c.directory(b).lookup_all(c.now(), "kv");
+        assert_eq!(live.len(), 3, "board {b} dropped the dead replica");
+        assert!(live.iter().all(|e| e.home != 3));
+    }
+    assert!(c.caps_revoked > 0, "dead board's remote caps were revoked");
+    // Traffic kept completing after the kill: requests that timed out
+    // against board 3 were retried onto live replicas.
+    let after: u64 = clients.iter().map(|cl| cl.gen.stats.completed).sum();
+    assert!(
+        after > before + 50,
+        "completions kept flowing: {before} -> {after}"
+    );
+    assert!(
+        c.timeouts > 0,
+        "requests in flight to the dead board timed out"
+    );
+}
+
+#[test]
+fn transient_link_cut_retransmits_and_recovers() {
+    let mut c = cluster(2);
+    deploy_echo(&mut c, 1, 20);
+    let mut clients = [client(1, 0, 300.0)];
+    run(&mut c, &mut clients, 6_000);
+
+    c.cut_link(1, None);
+    run(&mut c, &mut clients, 3_000);
+    c.restore_link(1, None);
+    run(&mut c, &mut clients, 20_000);
+
+    assert!(
+        c.fabric().stats().retransmissions > 0,
+        "ARQ resent frames lost to the cut"
+    );
+    assert!(c.fabric().stats().cut_drops > 0);
+    let stats = &clients[0].gen.stats;
+    assert!(
+        stats.completed > stats.errors,
+        "most traffic survived the cut: {stats:?}"
+    );
+}
+
+#[test]
+fn reconfigure_withdraws_then_republishes() {
+    let mut c = cluster(2);
+    deploy_echo(&mut c, 1, 20);
+    c.tick_n(2_000); // let gossip spread the binding
+    assert_eq!(c.directory(0).lookup_all(c.now(), "kv").len(), 1);
+
+    c.reconfigure_replica(1, "kv", Box::new(|| Box::new(echo(10))), BITSTREAM)
+        .expect("replica is known");
+    // Withdrawn at the home board immediately…
+    assert!(c.directory(1).lookup_local(c.now(), "kv").is_none());
+    // …and at peers once gossip carries the tombstone.
+    c.tick_n(1_000);
+    assert!(
+        c.directory(0).lookup_all(c.now(), "kv").is_empty(),
+        "tombstone propagated"
+    );
+    // Republished (new version, fresh lease) once the bitstream lands.
+    c.tick_n(4_000);
+    assert_eq!(c.directory(1).lookup_all(c.now(), "kv").len(), 1);
+    assert_eq!(c.directory(0).lookup_all(c.now(), "kv").len(), 1);
+}
+
+#[test]
+fn churn_during_remote_invocation_recovers() {
+    // Regression: reconfiguring the tile under live remote traffic must
+    // not wedge the cluster — in-flight invocations error or time out,
+    // clients retry, and completions resume after republish.
+    let mut c = cluster(2);
+    deploy_echo(&mut c, 1, 20);
+    c.tick_n(2_000); // gossip warm-up before clients arrive
+    let mut clients = [client(1, 0, 250.0)];
+    run(&mut c, &mut clients, 8_000);
+    let before = clients[0].gen.stats.completed;
+    assert!(before > 0);
+
+    c.reconfigure_replica(1, "kv", Box::new(|| Box::new(echo(10))), BITSTREAM)
+        .expect("replica is known");
+    run(&mut c, &mut clients, 40_000);
+
+    let stats = &clients[0].gen.stats;
+    assert!(
+        stats.completed > before + 30,
+        "service resumed after churn: {before} -> {}",
+        stats.completed
+    );
+    assert!(
+        stats.errors > 0 || c.timeouts > 0 || clients[0].no_replica > 0,
+        "the churn window was actually observed"
+    );
+    // The machine drains: no stuck pending requests or fabric frames.
+    clients[0].gen.max_requests = 0;
+    for _ in 0..30_000 {
+        c.tick();
+        drive_clients(&mut c, &mut clients);
+        if c.quiescent() {
+            break;
+        }
+    }
+    assert!(c.quiescent(), "cluster drains after churn");
+}

@@ -34,14 +34,28 @@ impl RegistryService {
         RegistryService::default()
     }
 
-    /// Publishes a binding (kernel/management plane).
-    pub fn publish(&mut self, name: &str, service: ServiceId, node: NodeId) {
-        self.entries.insert(name.to_string(), (service, node));
+    /// Publishes a binding (kernel/management plane). Returns the binding
+    /// this publish displaced, if the name was already taken — silently
+    /// overwriting a live service's name is how split-brain directories
+    /// start, so callers get to notice and withdraw-then-republish instead.
+    pub fn publish(
+        &mut self,
+        name: &str,
+        service: ServiceId,
+        node: NodeId,
+    ) -> Option<(ServiceId, NodeId)> {
+        self.entries.insert(name.to_string(), (service, node))
     }
 
     /// Removes a binding; returns whether it existed.
     pub fn withdraw(&mut self, name: &str) -> bool {
         self.entries.remove(name).is_some()
+    }
+
+    /// Looks up a binding by name (kernel/management plane; accelerators use
+    /// [`wire::KIND_LOOKUP`] messages instead).
+    pub fn lookup(&self, name: &str) -> Option<(ServiceId, NodeId)> {
+        self.entries.get(name).copied()
     }
 
     /// Number of published bindings.
@@ -145,7 +159,7 @@ mod tests {
     fn hit_and_miss() {
         let mut os = MockOs::new();
         let mut r = RegistryService::new();
-        r.publish("kv", ServiceId(7), NodeId(9));
+        assert_eq!(r.publish("kv", ServiceId(7), NodeId(9)), None);
         os.deliver(lookup("kv"));
         os.deliver(lookup("nonesuch"));
         r.tick(&mut os);
@@ -161,7 +175,7 @@ mod tests {
     #[test]
     fn withdraw_removes() {
         let mut r = RegistryService::new();
-        r.publish("x", ServiceId(1), NodeId(2));
+        assert_eq!(r.publish("x", ServiceId(1), NodeId(2)), None);
         assert!(r.withdraw("x"));
         assert!(!r.withdraw("x"));
         assert!(r.is_empty());
@@ -185,5 +199,44 @@ mod tests {
         assert_eq!(decode_lookup_reply(&[1, 2, 3]), None);
         assert_eq!(decode_lookup_reply(&[9]), None);
         assert_eq!(decode_lookup_reply(&[0]), Some(None));
+    }
+}
+
+#[cfg(test)]
+mod lookup_tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_published_binding() {
+        let mut r = RegistryService::new();
+        assert_eq!(r.lookup("kv"), None);
+        assert_eq!(r.publish("kv", ServiceId(7), NodeId(9)), None);
+        assert_eq!(r.lookup("kv"), Some((ServiceId(7), NodeId(9))));
+        assert_eq!(r.lookup("video"), None);
+    }
+
+    #[test]
+    fn republish_returns_the_displaced_binding() {
+        let mut r = RegistryService::new();
+        assert_eq!(r.publish("kv", ServiceId(7), NodeId(9)), None);
+        // Rebinding the same name reports what it displaced, so a kernel
+        // moving a service can detect an unexpected squatter.
+        assert_eq!(
+            r.publish("kv", ServiceId(7), NodeId(12)),
+            Some((ServiceId(7), NodeId(9)))
+        );
+        assert_eq!(r.lookup("kv"), Some((ServiceId(7), NodeId(12))));
+        assert_eq!(r.len(), 1, "rebinding does not duplicate the entry");
+    }
+
+    #[test]
+    fn lookup_after_withdraw_misses() {
+        let mut r = RegistryService::new();
+        assert_eq!(r.publish("kv", ServiceId(7), NodeId(9)), None);
+        assert!(r.withdraw("kv"));
+        assert_eq!(r.lookup("kv"), None);
+        // Republish after withdraw displaces nothing.
+        assert_eq!(r.publish("kv", ServiceId(8), NodeId(10)), None);
+        assert_eq!(r.lookup("kv"), Some((ServiceId(8), NodeId(10))));
     }
 }

@@ -60,6 +60,19 @@ pub enum EventKind {
     Reconfig,
     /// Free-form annotation from an accelerator or service.
     Note(String),
+    /// A remote (cross-board) invocation phase at this board's gateway:
+    /// `"send"` (forwarded onto the fabric), `"retransmit"` (link-layer ARQ
+    /// resent it), `"reply"` (response returned from the fabric) or
+    /// `"breaker-open"` (the end-to-end circuit breaker tripped).
+    Remote {
+        /// Phase name (see above).
+        phase: &'static str,
+        /// The remote board involved.
+        board: u16,
+        /// End-to-end correlation tag (0 when the phase is not tied to one
+        /// request, e.g. `breaker-open`).
+        tag: u64,
+    },
 }
 
 impl EventKind {
@@ -76,12 +89,13 @@ impl EventKind {
             EventKind::CapOp { .. } => 7,
             EventKind::Reconfig => 8,
             EventKind::Note(_) => 9,
+            EventKind::Remote { .. } => 10,
         }
     }
 
     /// Human-readable kind name.
     pub fn name(&self) -> &'static str {
-        const NAMES: [&str; 10] = [
+        const NAMES: [&str; 11] = [
             "send",
             "recv",
             "denied",
@@ -92,6 +106,7 @@ impl EventKind {
             "cap-op",
             "reconfig",
             "note",
+            "remote",
         ];
         NAMES[self.counter_slot()]
     }
@@ -140,6 +155,9 @@ impl fmt::Display for Event {
             EventKind::Preempt { context } => write!(f, "ctx={context}"),
             EventKind::CapOp { op } => write!(f, "{op}"),
             EventKind::Note(s) => write!(f, "{s}"),
+            EventKind::Remote { phase, board, tag } => {
+                write!(f, "{phase} board {board} tag={tag}")
+            }
             EventKind::FailStop | EventKind::Reconfig => Ok(()),
         }
     }
@@ -165,7 +183,7 @@ impl fmt::Display for Event {
 pub struct Tracer {
     ring: VecDeque<Event>,
     capacity: usize,
-    counts: [u64; 10],
+    counts: [u64; 11],
     enabled: bool,
     dropped: u64,
 }
@@ -176,7 +194,7 @@ impl Tracer {
         Tracer {
             ring: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
-            counts: [0; 10],
+            counts: [0; 11],
             enabled: true,
             dropped: 0,
         }
@@ -315,6 +333,41 @@ mod tests {
         assert_eq!(t.events_for_tile(7).count(), 2);
         assert_eq!(t.events_for_tile(0).count(), 1);
         assert_eq!(t.events_for_tile(5).count(), 0);
+    }
+
+    #[test]
+    fn remote_events_count_and_render() {
+        let mut t = Tracer::new(8);
+        t.record(
+            Cycle(1),
+            0,
+            EventKind::Remote {
+                phase: "send",
+                board: 2,
+                tag: 77,
+            },
+        );
+        t.record(
+            Cycle(9),
+            0,
+            EventKind::Remote {
+                phase: "reply",
+                board: 2,
+                tag: 77,
+            },
+        );
+        assert_eq!(
+            t.count(&EventKind::Remote {
+                phase: "",
+                board: 0,
+                tag: 0
+            }),
+            2
+        );
+        let s = t.render();
+        assert!(s.contains("remote"));
+        assert!(s.contains("send board 2 tag=77"));
+        assert!(s.contains("reply board 2 tag=77"));
     }
 
     #[test]

@@ -63,6 +63,7 @@
 
 pub use apiary_accel as accel;
 pub use apiary_cap as cap;
+pub use apiary_cluster as cluster;
 pub use apiary_core as core;
 pub use apiary_host as host;
 pub use apiary_mem as mem;

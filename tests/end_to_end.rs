@@ -338,8 +338,8 @@ fn registry_resolves_service_names_over_the_noc() {
     sys.install(client, Box::new(idle()), AppId(1), FaultPolicy::FailStop)
         .expect("free");
     let mut reg = RegistryService::new();
-    reg.publish("kv-store", ServiceId(40), kv_node);
-    reg.publish("video", ServiceId(41), NodeId(1));
+    assert_eq!(reg.publish("kv-store", ServiceId(40), kv_node), None);
+    assert_eq!(reg.publish("video", ServiceId(41), NodeId(1)), None);
     sys.install(
         registry,
         Box::new(reg),
