@@ -4,7 +4,7 @@ use crate::os::TileOs;
 use apiary_cap::CapRef;
 use apiary_monitor::wire;
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, Wakeup};
 use core::fmt;
 
 /// Error restoring externalized accelerator state.
@@ -29,17 +29,45 @@ impl std::error::Error for StateError {}
 
 /// Untrusted logic occupying a tile's dynamic region.
 ///
-/// The kernel calls [`Accelerator::tick`] once per cycle while the tile is
-/// running. All interaction with the world goes through the [`TileOs`]
-/// handle. The default implementations make an accelerator merely
-/// *concurrent* (§4.4); overriding the three state methods makes it
+/// The kernel calls [`Accelerator::wake`] whenever the accelerator is due
+/// to run; the accelerator does one cycle's worth of work and reports when
+/// it next needs CPU. All interaction with the world goes through the
+/// [`TileOs`] handle. The default implementations make an accelerator
+/// merely *concurrent* (§4.4); overriding the three state methods makes it
 /// *preemptible*.
+///
+/// # Migrating from `tick`
+///
+/// Implement **exactly one** of [`Accelerator::wake`] and the deprecated
+/// [`Accelerator::tick`] — each defaults to calling the other. Legacy
+/// implementations that only define `tick` keep working: the default
+/// `wake` runs `tick` and conservatively asks to be woken every cycle,
+/// which is exactly the old dense behaviour. New implementations define
+/// `wake` and return a precise [`Wakeup`] so the event-driven drivers can
+/// skip their quiescent cycles. A `wake` implementation must tolerate
+/// spurious calls (earlier than the wakeup it requested) by no-opping,
+/// and must never request a wakeup *later* than the first cycle at which
+/// its dense-ticked twin would have changed state.
 pub trait Accelerator {
     /// A short, stable name (for traces and floor plans).
     fn name(&self) -> &'static str;
 
+    /// Runs the accelerator at `now` and returns when it next needs CPU.
+    ///
+    /// The driver re-arms [`Wakeup::OnMessage`] sleepers implicitly when a
+    /// message lands in the tile's inbox.
+    fn wake(&mut self, now: Cycle, os: &mut dyn TileOs) -> Wakeup {
+        #[allow(deprecated)]
+        self.tick(os);
+        Wakeup::AtOrMessage(now.saturating_add(1))
+    }
+
     /// Advances the accelerator by one cycle.
-    fn tick(&mut self, os: &mut dyn TileOs);
+    #[deprecated(note = "implement `wake` instead; `tick` is the pre-event-core name")]
+    fn tick(&mut self, os: &mut dyn TileOs) {
+        let now = os.now();
+        let _ = self.wake(now, os);
+    }
 
     /// Returns `true` if the accelerator externalizes its architectural
     /// state ([`Accelerator::save_state`] works).
@@ -145,6 +173,16 @@ pub trait Service {
     /// Optional per-cycle idle work (e.g. proactive traffic generators).
     fn idle(&mut self, _os: &mut dyn TileOs) {}
 
+    /// When the service needs CPU while no request is in flight. The
+    /// default — [`Wakeup::OnMessage`] — suits pure request/response
+    /// services whose [`Service::idle`] does nothing; services that
+    /// generate work spontaneously (traffic flooders, pollers) override
+    /// this to request timed wakeups so the event-driven drivers keep
+    /// calling [`Service::idle`].
+    fn wakeup(&self, _now: Cycle) -> Wakeup {
+        Wakeup::OnMessage
+    }
+
     /// Optional state externalization (enables preemption).
     fn save(&self) -> Option<Vec<u8>> {
         None
@@ -221,6 +259,18 @@ impl<S: Service> ServerAccel<S> {
     pub fn service_mut(&mut self) -> &mut S {
         &mut self.service
     }
+
+    /// Next wakeup after consuming a message without starting a job: drain
+    /// the backlog next cycle if one exists, else sleep — but never later
+    /// than the service's own idle schedule.
+    fn backlog_wakeup(&self, now: Cycle, os: &dyn TileOs) -> Wakeup {
+        let drain = if os.inbox_depth() > 0 {
+            Wakeup::AtOrMessage(now.saturating_add(1))
+        } else {
+            Wakeup::OnMessage
+        };
+        drain.earliest(self.service.wakeup(now))
+    }
 }
 
 impl<S: Service + 'static> Accelerator for ServerAccel<S> {
@@ -236,15 +286,15 @@ impl<S: Service + 'static> Accelerator for ServerAccel<S> {
         self
     }
 
-    fn tick(&mut self, os: &mut dyn TileOs) {
+    fn wake(&mut self, now: Cycle, os: &mut dyn TileOs) -> Wakeup {
         // A faulted accelerator is wedged until the kernel swaps or resets
         // it; it makes no further progress on its own (§4.4).
         if self.halted {
-            return;
+            return Wakeup::Idle;
         }
         // Finish the in-flight job first.
         if let Some(p) = &self.pending {
-            if os.now() >= p.done_at {
+            if now >= p.done_at {
                 let p = self.pending.take().expect("checked above");
                 match p.completion {
                     // Reply failures (revoked client, backpressure) are the
@@ -264,10 +314,11 @@ impl<S: Service + 'static> Accelerator for ServerAccel<S> {
                 }
                 self.served += 1;
             } else {
-                return; // Busy: requests wait in the monitor's inbox.
+                // Busy: requests wait in the monitor's inbox.
+                return Wakeup::At(p.done_at);
             }
         }
-        // Accept the next request.
+        // Accept the next request (one per cycle, like the dense loop).
         if let Some(req) = os.recv() {
             // Responses, errors and completions are not requests: a
             // service must never "serve" them, or two mutually-connected
@@ -279,15 +330,16 @@ impl<S: Service + 'static> Accelerator for ServerAccel<S> {
                     | wire::KIND_MEM_REPLY
                     | wire::KIND_LOOKUP_REPLY
             ) {
-                return;
+                return self.backlog_wakeup(now, os);
             }
             match self.service.serve(&req, os) {
                 ServiceAction::Reply(reply) => {
-                    let done_at = os.now() + reply.cost_cycles;
+                    let done_at = now + reply.cost_cycles;
                     self.pending = Some(Pending {
                         done_at,
                         completion: Completion::Reply { reply, to: req },
                     });
+                    Wakeup::At(done_at)
                 }
                 ServiceAction::Forward {
                     cap,
@@ -296,7 +348,7 @@ impl<S: Service + 'static> Accelerator for ServerAccel<S> {
                     payload,
                     cost_cycles,
                 } => {
-                    let done_at = os.now() + cost_cycles;
+                    let done_at = now + cost_cycles;
                     self.pending = Some(Pending {
                         done_at,
                         completion: Completion::Forward {
@@ -307,17 +359,21 @@ impl<S: Service + 'static> Accelerator for ServerAccel<S> {
                             payload,
                         },
                     });
+                    Wakeup::At(done_at)
                 }
                 ServiceAction::Done => {
                     self.served += 1;
+                    self.backlog_wakeup(now, os)
                 }
                 ServiceAction::Fault(code) => {
                     self.halted = true;
                     os.raise_fault(code);
+                    Wakeup::Idle
                 }
             }
         } else {
             self.service.idle(os);
+            self.service.wakeup(now)
         }
     }
 
@@ -346,6 +402,7 @@ mod tests {
     use super::*;
     use crate::os::test_os::MockOs;
     use apiary_noc::{Message, NodeId};
+    use apiary_sim::Wakeup;
 
     struct Upper;
 
@@ -380,16 +437,18 @@ mod tests {
         let mut os = MockOs::new();
         os.deliver(request(b"abc"));
         let mut a = ServerAccel::new(Upper);
-        // Cycle 0: accept, job takes 5 cycles.
-        a.tick(&mut os);
+        // Cycle 0: accept, job takes 5 cycles; the wakeup names the
+        // completion cycle so the driver can jump straight to it.
+        assert_eq!(a.wake(os.now(), &mut os), Wakeup::At(Cycle(5)));
         assert!(os.sent.is_empty());
         for _ in 0..4 {
             os.advance(1);
-            a.tick(&mut os);
+            // Spurious wakes while busy are no-ops re-stating the deadline.
+            assert_eq!(a.wake(os.now(), &mut os), Wakeup::At(Cycle(5)));
         }
         assert!(os.sent.is_empty(), "still computing");
         os.advance(1);
-        a.tick(&mut os);
+        assert_eq!(a.wake(os.now(), &mut os), Wakeup::OnMessage);
         assert_eq!(os.sent.len(), 1);
         let (to, kind, _, payload) = &os.sent[0];
         assert_eq!(*to, NodeId(1));
@@ -404,13 +463,13 @@ mod tests {
         os.deliver(request(b"a"));
         os.deliver(request(b"b"));
         let mut a = ServerAccel::new(Upper);
-        a.tick(&mut os); // Accepts "a".
+        a.wake(os.now(), &mut os); // Accepts "a".
         os.advance(1);
-        a.tick(&mut os); // Busy; "b" stays queued.
+        a.wake(os.now(), &mut os); // Busy; "b" stays queued.
         assert_eq!(os.inbox_len(), 1);
         for _ in 0..10 {
             os.advance(1);
-            a.tick(&mut os);
+            a.wake(os.now(), &mut os);
         }
         assert_eq!(os.sent.len(), 2);
         assert_eq!(a.served(), 2);
@@ -424,7 +483,7 @@ mod tests {
         os.deliver(req);
         let mut a = ServerAccel::new(Upper);
         for _ in 0..3 {
-            a.tick(&mut os);
+            a.wake(os.now(), &mut os);
             os.advance(1);
         }
         assert!(os.sent.is_empty());
@@ -448,8 +507,51 @@ mod tests {
         let mut os = MockOs::new();
         os.deliver(request(b"boom"));
         let mut a = ServerAccel::new(Crasher);
-        a.tick(&mut os);
+        assert_eq!(a.wake(os.now(), &mut os), Wakeup::Idle);
         assert_eq!(os.faults, vec![0xdead]);
+    }
+
+    #[test]
+    fn deprecated_tick_shim_drives_wake() {
+        // One release of backwards compatibility: external code calling
+        // the old per-cycle `tick` must see identical behaviour.
+        let mut os = MockOs::new();
+        os.deliver(request(b"abc"));
+        let mut a = ServerAccel::new(Upper);
+        for _ in 0..6 {
+            #[allow(deprecated)]
+            a.tick(&mut os);
+            os.advance(1);
+        }
+        assert_eq!(os.sent.len(), 1);
+        assert_eq!(os.sent[0].3, b"ABC");
+    }
+
+    #[test]
+    fn legacy_tick_only_impls_still_wake() {
+        // The other direction of the shim: an implementor that only
+        // defines the deprecated `tick` gets a conservative every-cycle
+        // wakeup from the default `wake`.
+        struct Legacy(u32);
+        impl Accelerator for Legacy {
+            fn name(&self) -> &'static str {
+                "legacy"
+            }
+            #[allow(deprecated)]
+            fn tick(&mut self, _os: &mut dyn TileOs) {
+                self.0 += 1;
+            }
+            fn as_any(&self) -> &dyn core::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+                self
+            }
+        }
+        let mut os = MockOs::new();
+        let mut a = Legacy(0);
+        assert_eq!(a.wake(os.now(), &mut os), Wakeup::AtOrMessage(Cycle(1)));
+        assert_eq!(a.0, 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::os::TileOs;
 use apiary_cap::CapRef;
 use apiary_monitor::wire;
 use apiary_noc::Delivered;
+use apiary_sim::{Cycle, Wakeup};
 use std::collections::HashMap;
 
 /// Replica selection policy.
@@ -114,7 +115,7 @@ impl Accelerator for BalancerAccel {
         self
     }
 
-    fn tick(&mut self, os: &mut dyn TileOs) {
+    fn wake(&mut self, _now: Cycle, os: &mut dyn TileOs) -> Wakeup {
         self.refresh_replicas(os);
         while let Some(d) = os.recv() {
             if let Some((replica, original)) = self.pending.remove(&d.msg.tag) {
@@ -160,6 +161,9 @@ impl Accelerator for BalancerAccel {
             }
             // Unsolicited non-request traffic is dropped.
         }
+        // The balancer is purely reactive: it drains its whole inbox every
+        // wake, so only a new delivery can give it work.
+        Wakeup::OnMessage
     }
 
     fn is_preemptible(&self) -> bool {
@@ -226,7 +230,7 @@ mod tests {
         for tag in 0..6 {
             os.deliver(request(9, tag));
         }
-        b.tick(&mut os);
+        b.wake(os.now(), &mut os);
         assert_eq!(b.forwarded, 6);
         assert_eq!(b.per_replica, vec![3, 3]);
         // Alternating caps.
@@ -241,12 +245,12 @@ mod tests {
         let mut b = balancer();
         os.deliver(request(7, 100));
         os.deliver(request(8, 200));
-        b.tick(&mut os);
+        b.wake(os.now(), &mut os);
         // Replica answers the internal tags (0 and 1), out of order.
         let internal: Vec<u64> = os.cap_sends.iter().map(|(_, _, t, _)| *t).collect();
         os.deliver(response(internal[1], vec![0xB]));
         os.deliver(response(internal[0], vec![0xA]));
-        b.tick(&mut os);
+        b.wake(os.now(), &mut os);
         assert_eq!(b.relayed, 2);
         // MockOs::reply records (dst, kind, class, payload); order follows
         // the replica responses.
@@ -266,13 +270,13 @@ mod tests {
         for tag in 0..3 {
             os.deliver(request(9, tag));
         }
-        b.tick(&mut os);
+        b.wake(os.now(), &mut os);
         assert_eq!(b.per_replica, vec![2, 1]);
         // Replica 1's request completes; the next request goes to replica 1.
         let internal_r1 = os.cap_sends[1].2;
         os.deliver(response(internal_r1, vec![]));
         os.deliver(request(9, 3));
-        b.tick(&mut os);
+        b.wake(os.now(), &mut os);
         assert_eq!(b.per_replica, vec![2, 2]);
     }
 
@@ -281,7 +285,7 @@ mod tests {
         let mut os = MockOs::new();
         let mut b = balancer();
         os.deliver(request(9, 1));
-        b.tick(&mut os);
+        b.wake(os.now(), &mut os);
         assert_eq!(b.no_replica_drops, 1);
         assert!(os.cap_sends.is_empty());
     }
@@ -292,12 +296,12 @@ mod tests {
         os.grant("replica0", cap(1));
         let mut b = balancer();
         os.deliver(request(7, 42));
-        b.tick(&mut os);
+        b.wake(os.now(), &mut os);
         let internal = os.cap_sends[0].2;
         let mut err = response(internal, vec![wire::err::TARGET_FAILED]);
         err.msg.kind = wire::KIND_ERROR;
         os.deliver(err);
-        b.tick(&mut os);
+        b.wake(os.now(), &mut os);
         assert_eq!(os.sent[0].1, wire::KIND_ERROR);
         assert_eq!(os.sent[0].0, NodeId(7));
     }

@@ -134,7 +134,7 @@ mod tests {
 
     fn run_to_reply(a: &mut CompressorAccel, os: &mut MockOs, max: u64) {
         for _ in 0..max {
-            a.tick(os);
+            a.wake(os.now(), os);
             os.advance(1);
             if !os.sent.is_empty() {
                 return;

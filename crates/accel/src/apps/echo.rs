@@ -65,9 +65,9 @@ mod tests {
             delivered_at: Cycle(0),
         });
         let mut a = echo(1);
-        a.tick(&mut os);
+        a.wake(os.now(), &mut os);
         os.advance(1);
-        a.tick(&mut os);
+        a.wake(os.now(), &mut os);
         assert_eq!(os.sent.len(), 1);
         assert_eq!(os.sent[0].3, vec![1, 2, 3]);
     }

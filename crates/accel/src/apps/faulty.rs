@@ -96,23 +96,31 @@ impl crate::accelerator::Accelerator for HangAccel {
         self
     }
 
-    fn tick(&mut self, os: &mut dyn TileOs) {
+    fn wake(&mut self, now: apiary_sim::Cycle, os: &mut dyn TileOs) -> apiary_sim::Wakeup {
+        use apiary_sim::Wakeup;
         if self.served + 1 >= self.hang_after {
-            // Wedged: consumes nothing, says nothing.
-            return;
+            // Wedged: consumes nothing, says nothing — only the monitor's
+            // watchdog will notice.
+            return Wakeup::Idle;
         }
         if let Some(req) = os.recv() {
-            if req.msg.kind == apiary_monitor::wire::KIND_ERROR {
-                return;
+            if req.msg.kind != apiary_monitor::wire::KIND_ERROR {
+                self.served += 1;
+                let _ = os.reply(
+                    &req,
+                    apiary_monitor::wire::KIND_RESPONSE,
+                    apiary_noc::TrafficClass::Request,
+                    req.msg.payload.clone(),
+                );
+                if self.served + 1 >= self.hang_after {
+                    return Wakeup::Idle;
+                }
             }
-            self.served += 1;
-            let _ = os.reply(
-                &req,
-                apiary_monitor::wire::KIND_RESPONSE,
-                apiary_noc::TrafficClass::Request,
-                req.msg.payload.clone(),
-            );
+            if os.inbox_depth() > 0 {
+                return Wakeup::AtOrMessage(now.saturating_add(1));
+            }
         }
+        Wakeup::OnMessage
     }
 }
 
@@ -152,7 +160,7 @@ mod tests {
             deliver(&mut os, i);
         }
         for _ in 0..50 {
-            a.tick(&mut os);
+            a.wake(os.now(), &mut os);
             os.advance(1);
         }
         // Two good replies, then the fault wedges the accelerator; the

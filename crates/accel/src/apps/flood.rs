@@ -9,6 +9,7 @@ use crate::accelerator::{Service, ServiceAction};
 use crate::os::TileOs;
 use apiary_monitor::{wire, SendError};
 use apiary_noc::{Delivered, TrafficClass};
+use apiary_sim::{Cycle, Wakeup};
 
 /// Fires requests at the capability named `"target"` in the cap
 /// environment, every cycle, forever.
@@ -90,6 +91,13 @@ impl Service for FlooderService {
     fn idle(&mut self, os: &mut dyn TileOs) {
         self.blast(os);
     }
+
+    fn wakeup(&self, now: Cycle) -> Wakeup {
+        // The flooder generates traffic spontaneously: it must run every
+        // cycle even with an empty inbox, or event-driven runs would flood
+        // less than dense ones.
+        Wakeup::AtOrMessage(now.saturating_add(1))
+    }
 }
 
 /// The flooder as an accelerator.
@@ -119,10 +127,12 @@ mod tests {
         );
         let mut a = flooder(64);
         for _ in 0..10 {
-            a.tick(&mut os);
+            // The flooder never sleeps: its wakeup always names next cycle.
+            let w = a.wake(os.now(), &mut os);
+            assert_eq!(w, apiary_sim::Wakeup::AtOrMessage(os.now() + 1));
             os.advance(1);
         }
-        // MockOs never refuses, so every tick sends a full burst.
+        // MockOs never refuses, so every wake sends a full burst.
         assert_eq!(a.service().sent, 10 * 16);
         assert!(!os.cap_sends.is_empty());
     }
@@ -132,7 +142,7 @@ mod tests {
         let mut os = MockOs::new();
         let mut a = flooder(64);
         for _ in 0..10 {
-            a.tick(&mut os);
+            a.wake(os.now(), &mut os);
             os.advance(1);
         }
         assert_eq!(a.service().sent, 0);

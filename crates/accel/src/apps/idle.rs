@@ -6,6 +6,7 @@
 
 use crate::accelerator::{Accelerator, StateError};
 use crate::os::TileOs;
+use apiary_sim::{Cycle, Wakeup};
 
 /// The do-nothing accelerator.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,7 +22,11 @@ impl Accelerator for IdleAccel {
         "idle"
     }
 
-    fn tick(&mut self, _os: &mut dyn TileOs) {}
+    fn wake(&mut self, _now: Cycle, _os: &mut dyn TileOs) -> Wakeup {
+        // Deliveries stay queued for the external driver; nothing ever
+        // needs this tile to run.
+        Wakeup::Idle
+    }
 
     fn is_preemptible(&self) -> bool {
         true
@@ -58,7 +63,7 @@ mod tests {
         let mut os = MockOs::new();
         let mut a = idle();
         for _ in 0..10 {
-            a.tick(&mut os);
+            assert_eq!(a.wake(os.now(), &mut os), Wakeup::Idle);
             os.advance(1);
         }
         assert!(os.sent.is_empty());

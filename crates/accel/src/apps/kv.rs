@@ -274,7 +274,7 @@ mod tests {
 
     fn pump(a: &mut KvStoreAccel, os: &mut MockOs, cycles: u64) {
         for _ in 0..cycles {
-            a.tick(os);
+            a.wake(os.now(), os);
             os.advance(1);
         }
     }

@@ -18,7 +18,7 @@ use crate::accelerator::{Accelerator, Service, ServiceAction, ServiceReply, Stat
 use crate::os::TileOs;
 use apiary_monitor::wire;
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, Wakeup};
 use std::collections::BTreeMap;
 
 /// One in-flight job (per tile, one execution unit shared by contexts —
@@ -77,22 +77,30 @@ impl<S: Service + 'static> Accelerator for MultiService<S> {
         self
     }
 
-    fn tick(&mut self, os: &mut dyn TileOs) {
+    fn wake(&mut self, now: Cycle, os: &mut dyn TileOs) -> Wakeup {
         // Finish the in-flight job.
         if let Some(p) = &self.pending {
-            if os.now() >= p.done_at {
+            if now >= p.done_at {
                 let p = self.pending.take().expect("checked above");
                 let _ = os.reply(&p.to, p.reply.kind, p.reply.class, p.reply.payload);
             } else {
-                return;
+                return Wakeup::At(p.done_at);
             }
         }
-        let Some(req) = os.recv() else { return };
+        let Some(req) = os.recv() else {
+            return Wakeup::OnMessage;
+        };
+        // Consumed one message; more may be queued behind it.
+        let backlog = if os.inbox_depth() > 0 {
+            Wakeup::AtOrMessage(now.saturating_add(1))
+        } else {
+            Wakeup::OnMessage
+        };
         if matches!(
             req.msg.kind,
             wire::KIND_ERROR | wire::KIND_RESPONSE | wire::KIND_MEM_REPLY | wire::KIND_LOOKUP_REPLY
         ) {
-            return;
+            return backlog;
         }
         let badge = req.msg.badge;
         let ctx = self
@@ -102,14 +110,17 @@ impl<S: Service + 'static> Accelerator for MultiService<S> {
         match ctx.serve(&req, os) {
             ServiceAction::Reply(reply) => {
                 *self.served.entry(badge).or_default() += 1;
+                let done_at = now + reply.cost_cycles;
                 self.pending = Some(Pending {
-                    done_at: os.now() + reply.cost_cycles,
+                    done_at,
                     reply,
                     to: req,
                 });
+                Wakeup::At(done_at)
             }
             ServiceAction::Forward { .. } | ServiceAction::Done => {
                 *self.served.entry(badge).or_default() += 1;
+                backlog
             }
             ServiceAction::Fault(code) => {
                 // Contain the fault to this context: swap in a fresh
@@ -124,6 +135,7 @@ impl<S: Service + 'static> Accelerator for MultiService<S> {
                     TrafficClass::Control,
                     vec![wire::err::REJECTED],
                 );
+                backlog
             }
         }
     }
@@ -202,7 +214,7 @@ mod tests {
 
     fn pump<S: Service + 'static>(a: &mut MultiService<S>, os: &mut MockOs, n: u64) {
         for _ in 0..n {
-            a.tick(os);
+            a.wake(os.now(), os);
             os.advance(1);
         }
     }

@@ -167,7 +167,7 @@ mod tests {
 
     fn run(a: &mut VectorAccel, os: &mut MockOs) {
         for _ in 0..1_000 {
-            a.tick(os);
+            a.wake(os.now(), os);
             os.advance(1);
             if !os.sent.is_empty() {
                 return;

@@ -137,10 +137,10 @@ mod tests {
         let frame = Frame::test_pattern(32, 32, 1);
         deliver_frame(&mut os, &frame, 5);
         let mut a = video_encoder(0);
-        a.tick(&mut os);
+        a.wake(os.now(), &mut os);
         // Encoding a 32x32 frame costs 32 + 1024 cycles.
         os.advance(video::encode_cost_cycles(1024));
-        a.tick(&mut os);
+        a.wake(os.now(), &mut os);
         assert_eq!(os.sent.len(), 1);
         let decoded = video::decode(&os.sent[0].3).expect("well formed");
         assert_eq!(decoded, frame);
@@ -158,7 +158,7 @@ mod tests {
         let frame = Frame::test_pattern(16, 16, 2);
         deliver_frame(&mut os, &frame, 42);
         let mut a = video_encoder(0);
-        a.tick(&mut os);
+        a.wake(os.now(), &mut os);
         assert!(
             os.cap_sends.is_empty(),
             "forward waits out the compute cost"
@@ -166,7 +166,7 @@ mod tests {
         // 16x16 frame: 32 + 256 cycles of encode.
         for _ in 0..=video::encode_cost_cycles(256) {
             os.advance(1);
-            a.tick(&mut os);
+            a.wake(os.now(), &mut os);
         }
         assert!(os.sent.is_empty());
         assert_eq!(os.cap_sends.len(), 1);
@@ -188,9 +188,9 @@ mod tests {
             delivered_at: Cycle(0),
         });
         let mut a = video_encoder(0);
-        a.tick(&mut os);
+        a.wake(os.now(), &mut os);
         os.advance(1);
-        a.tick(&mut os);
+        a.wake(os.now(), &mut os);
         assert_eq!(os.sent.len(), 1);
         assert_eq!(os.sent[0].1, wire::KIND_ERROR);
         assert_eq!(os.sent[0].3, vec![verr::BAD_FRAME]);

@@ -72,6 +72,11 @@ pub trait TileOs {
     /// Takes the next delivered message, if any.
     fn recv(&mut self) -> Option<Delivered>;
 
+    /// Messages waiting in the inbox (what [`TileOs::recv`] would drain).
+    /// Wakeup scheduling uses this to choose between sleeping until a
+    /// message arrives and re-running next cycle to drain a backlog.
+    fn inbox_depth(&self) -> usize;
+
     /// Sends a message through a capability.
     ///
     /// # Errors
@@ -206,6 +211,10 @@ pub mod test_os {
 
         fn recv(&mut self) -> Option<Delivered> {
             self.inbox.pop_front()
+        }
+
+        fn inbox_depth(&self) -> usize {
+            self.inbox.len()
         }
 
         fn send(

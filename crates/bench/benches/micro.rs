@@ -86,7 +86,7 @@ fn bench_allocators(c: &mut Criterion) {
 fn bench_noc(c: &mut Criterion) {
     c.bench_function("noc/tick_idle_8x8", |b| {
         let mut noc = Noc::new(NocConfig::soft(8, 8));
-        b.iter(|| noc.tick())
+        b.iter(|| noc.step())
     });
     c.bench_function("noc/message_corner_to_corner_4x4", |b| {
         b.iter_batched_ref(
@@ -113,7 +113,7 @@ fn bench_noc(c: &mut Criterion) {
                     );
                 }
             }
-            noc.tick();
+            noc.step();
             for n in 0..16u16 {
                 noc.drain_eject(NodeId(n));
             }

@@ -7,6 +7,10 @@
 //! - `--det-check` runs the suite a second time on a single worker and
 //!   fails (exit 1) unless every report's deterministic portion is
 //!   byte-identical to the parallel run — the contract CI enforces.
+//! - `--det-check=event-vs-dense` replays the suite under the dense
+//!   per-cycle reference clock and fails (exit 1) unless every report is
+//!   byte-identical to the event-clock run. The wall-time ratio between
+//!   the two runs is the event-core speedup, recorded in the baseline.
 //! - Each experiment's structured result lands in `results/eNN_<name>.json`;
 //!   the aggregate (wall time, simulated cycles/sec, headline metrics, and
 //!   the measured NoC active-set speedup) in `results/BENCH_apiary.json`.
@@ -15,6 +19,7 @@ use apiary_bench::harness;
 use apiary_bench::report::{round3, Json};
 use apiary_bench::results;
 use apiary_noc::{Message, Noc, NocConfig, NodeId, TrafficClass};
+use apiary_sim::{set_clock_mode, ClockMode};
 use std::time::Instant;
 
 /// Measures the NoC active-set scheduling speedup: the same sparse workload
@@ -36,7 +41,7 @@ fn bench_active_set() -> Json {
                     );
                 }
             }
-            noc.tick();
+            noc.step();
             for n in [9u16, 63u16] {
                 noc.drain_eject(NodeId(n));
             }
@@ -71,13 +76,19 @@ fn bench_active_set() -> Json {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = !args.iter().any(|a| a == "--full");
-    let det_check = args.iter().any(|a| a == "--det-check");
+    let det_check = args
+        .iter()
+        .any(|a| a == "--det-check" || a == "--det-check=jobs");
+    let det_check_clock = args.iter().any(|a| a == "--det-check=event-vs-dense");
     let mut jobs = harness::default_jobs();
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
             Some(n) if n >= 1 => jobs = n,
             _ => {
-                eprintln!("usage: all_experiments [--full] [--jobs N] [--det-check]");
+                eprintln!(
+                    "usage: all_experiments [--full] [--jobs N] [--det-check[=jobs]] \
+                     [--det-check=event-vs-dense]"
+                );
                 std::process::exit(2);
             }
         }
@@ -86,6 +97,43 @@ fn main() {
     let suite_t0 = Instant::now();
     let reports = harness::run_suite(quick, jobs);
     let suite_wall_ms = suite_t0.elapsed().as_secs_f64() * 1000.0;
+
+    let mut clock_check: Option<Json> = None;
+    if det_check_clock {
+        // Replay under the dense per-cycle reference clock: the event core
+        // must be an invisible optimisation, so every report's
+        // deterministic portion must match byte for byte. The wall-time
+        // ratio is the measured event-core speedup on this workload.
+        set_clock_mode(ClockMode::Dense);
+        let dense_t0 = Instant::now();
+        let dense = harness::run_suite(quick, jobs);
+        let dense_wall_ms = dense_t0.elapsed().as_secs_f64() * 1000.0;
+        set_clock_mode(ClockMode::Event);
+        let mut mismatches = 0;
+        for (e, d) in reports.iter().zip(dense.iter()) {
+            if e.deterministic_bytes() != d.deterministic_bytes() {
+                eprintln!("det-check: {} differs between event and dense clocks", e.id);
+                mismatches += 1;
+            }
+        }
+        if mismatches > 0 {
+            eprintln!("det-check FAILED: {mismatches} report(s) not byte-identical");
+            std::process::exit(1);
+        }
+        let speedup = dense_wall_ms / suite_wall_ms.max(1e-9);
+        println!(
+            "det-check OK: {} reports byte-identical across event and dense clocks \
+             (event {suite_wall_ms:.0} ms, dense {dense_wall_ms:.0} ms, {speedup:.2}x)",
+            reports.len()
+        );
+        clock_check = Some(
+            Json::obj()
+                .set("reports_identical", true)
+                .set("dense_wall_ms", round3(dense_wall_ms))
+                .set("event_wall_ms", round3(suite_wall_ms))
+                .set("event_speedup", round3(speedup)),
+        );
+    }
 
     if det_check {
         // Replay at a different worker count: every report must match the
@@ -139,14 +187,18 @@ fn main() {
                 .set("metrics", r.metrics.clone())
         })
         .collect();
-    let bench = Json::obj()
+    let mut bench = Json::obj()
         .set("schema", "apiary-bench-v1")
         .set("mode", if quick { "quick" } else { "full" })
+        .set("clock", "event")
         .set("jobs", jobs)
         .set("suite_wall_ms", round3(suite_wall_ms))
         .set("total_sim_cycles", total_sim_cycles)
         .set("sim_cycles_per_sec", round3(cycles_per_sec))
         .set("noc_active_set", noc_active_set)
         .set("experiments", Json::Arr(experiments));
+    if let Some(cc) = clock_check {
+        bench = bench.set("event_vs_dense", cc);
+    }
     results::write_result_or_exit("results/BENCH_apiary.json", &bench.render_pretty());
 }

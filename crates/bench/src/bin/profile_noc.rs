@@ -1,0 +1,66 @@
+//! Ad-hoc NoC hot-path profiler: times injection vs tick vs drain for a
+//! few representative E9/E13 points. Not part of the suite; a scratch tool
+//! for performance work on the interconnect.
+
+use apiary_noc::{Message, Noc, NocConfig, NodeId, TrafficClass};
+use apiary_sim::SimRng;
+use std::time::Instant;
+
+fn point(size: u8, rate: f64, cycles: u64, payload: usize, label: &str) {
+    let mut noc = Noc::new(NocConfig::soft(size, size));
+    let nodes = noc.mesh().nodes() as u16;
+    let mut rng = SimRng::new(99);
+    let mut t_inject = 0.0f64;
+    let mut t_tick = 0.0f64;
+    let mut t_drain_eject = 0.0f64;
+    for _ in 0..cycles {
+        let t0 = Instant::now();
+        for src in 0..nodes {
+            if rng.gen_bool(rate) {
+                let mut d = rng.gen_range(nodes as u64) as u16;
+                if d == src {
+                    d = (d + 1) % nodes;
+                }
+                if src == d {
+                    continue;
+                }
+                let msg = Message::new(
+                    NodeId(src),
+                    NodeId(d),
+                    TrafficClass::Request,
+                    vec![0; payload],
+                );
+                let _ = noc.try_inject(NodeId(src), msg);
+            }
+        }
+        let t1 = Instant::now();
+        noc.step();
+        let t2 = Instant::now();
+        for n in 0..nodes {
+            noc.drain_eject(NodeId(n));
+        }
+        let t3 = Instant::now();
+        t_inject += (t1 - t0).as_secs_f64();
+        t_tick += (t2 - t1).as_secs_f64();
+        t_drain_eject += (t3 - t2).as_secs_f64();
+    }
+    let t0 = Instant::now();
+    noc.run_until_quiescent(5_000_000);
+    let t_drain = t0.elapsed().as_secs_f64();
+    let st = noc.stats();
+    println!(
+        "{label}: inject {:.3}s tick {:.3}s eject {:.3}s drain {:.3}s ({} cyc total, {:.2}us/tick)",
+        t_inject,
+        t_tick,
+        t_drain_eject,
+        t_drain,
+        st.cycles,
+        t_tick * 1e6 / cycles as f64
+    );
+}
+
+fn main() {
+    point(8, 0.50, 20_000, 8, "8x8 u0.50 1-flit");
+    point(8, 0.05, 20_000, 8, "8x8 u0.05 1-flit");
+    point(4, 0.04, 30_000, 512, "4x4 u0.04 512B (E13-ish)");
+}

@@ -63,16 +63,12 @@ fn run_direct(compute: u64, requests: u64) -> (apiary_sim::Histogram, u64, u64, 
         .expect("installed")
         .bind_flow(80, cap);
 
-    for _ in 0..200_000_000u64 {
-        sys.tick();
-        if sys
-            .accel_as::<EthernetTile>(mac_node)
+    let finished = sys.run_until(200_000_000, |s| {
+        s.accel_as::<EthernetTile>(mac_node)
             .expect("installed")
             .all_done()
-        {
-            break;
-        }
-    }
+    });
+    debug_assert!(finished);
     let mac = sys.accel_as::<EthernetTile>(mac_node).expect("installed");
     let stats = mac.client(0).stats.clone();
     assert_eq!(stats.completed, requests, "direct path did not finish");

@@ -80,7 +80,7 @@ fn measure(size: u8, pattern: Pattern, rate: f64, cycles: u64, seed: u64) -> Poi
                 let _ = noc.try_inject(NodeId(src), msg);
             }
         }
-        noc.tick();
+        noc.step();
         for n in 0..nodes {
             noc.drain_eject(NodeId(n));
         }

@@ -49,7 +49,7 @@ fn measure(cfg: NocConfig, cycles: u64, seed: u64) -> Point {
                 );
             }
         }
-        noc.tick();
+        noc.step();
         for n in 0..nodes {
             noc.drain_eject(NodeId(n));
         }

@@ -22,7 +22,7 @@ use crate::report::{round3, ExperimentReport, Json};
 use crate::table::TextTable;
 use apiary_accel::apps::echo::echo;
 use apiary_cap::ServiceId;
-use apiary_cluster::{drive_clients, ClusterClient, ClusterConfig, ClusterSystem};
+use apiary_cluster::{run_clients, ClusterClient, ClusterConfig, ClusterSystem};
 use apiary_core::{AppId, FaultPolicy};
 use apiary_net::Workload;
 use apiary_noc::NodeId;
@@ -157,44 +157,34 @@ pub fn run_one(boards: u16, chaos: Chaos, duration: u64) -> RunOutcome {
         })
         .collect();
 
+    // The load phase runs in segments bounded by the chaos boundaries so
+    // the event clock treats them as wakeup deadlines: chaos lands on the
+    // same cycle it would under a dense per-cycle check of `now >= at`.
     let victim = boards - 1;
-    let fault_at = WARMUP + duration / 2;
-    let mut fault_applied = false;
+    let end_load = c.now().as_u64() + duration;
+    run_clients(&mut c, &mut clients, duration / 2, |_, _| false);
     let mut restore_at = u64::MAX;
-    for _ in 0..duration {
-        c.tick();
-        drive_clients(&mut c, &mut clients);
-        let now = c.now().as_u64();
-        if !fault_applied && now >= fault_at {
-            fault_applied = true;
-            match chaos {
-                Chaos::None => {}
-                Chaos::KillBoard => c.kill_board(victim),
-                Chaos::CutLink => {
-                    c.cut_link(victim, None);
-                    restore_at = now + CUT_WINDOW;
-                }
-            }
-        }
-        if now >= restore_at {
-            c.restore_link(victim, None);
-            restore_at = u64::MAX;
+    match chaos {
+        Chaos::None => {}
+        Chaos::KillBoard => c.kill_board(victim),
+        Chaos::CutLink => {
+            c.cut_link(victim, None);
+            restore_at = c.now().as_u64() + CUT_WINDOW;
         }
     }
+    if restore_at <= end_load {
+        let win = restore_at - c.now().as_u64();
+        run_clients(&mut c, &mut clients, win, |_, _| false);
+        c.restore_link(victim, None);
+    }
+    let rest = end_load - c.now().as_u64();
+    run_clients(&mut c, &mut clients, rest, |_, _| false);
 
     // Stop issuing and drain: chaos may cost requests, never the cluster.
     for cl in &mut clients {
         cl.gen.max_requests = cl.gen.stats.issued;
     }
-    let mut drained = false;
-    for _ in 0..DRAIN_LIMIT {
-        c.tick();
-        drive_clients(&mut c, &mut clients);
-        if c.quiescent() {
-            drained = true;
-            break;
-        }
-    }
+    let drained = run_clients(&mut c, &mut clients, DRAIN_LIMIT, |c, _| c.quiescent());
 
     let issued: u64 = clients.iter().map(|cl| cl.gen.stats.issued).sum();
     let completed: u64 = clients.iter().map(|cl| cl.gen.stats.completed).sum();

@@ -5,7 +5,7 @@ use apiary_cap::CapRef;
 use apiary_core::{AppId, FaultPolicy, System, SystemConfig};
 use apiary_monitor::{wire, SendError};
 use apiary_noc::{NodeId, TrafficClass};
-use apiary_sim::{Cycle, Histogram};
+use apiary_sim::{clock_mode, ClockMode, Cycle, Histogram};
 use std::collections::HashMap;
 
 /// A closed-loop request driver attached directly to a tile's monitor —
@@ -198,6 +198,34 @@ impl MonitorClient {
     pub fn done(&self) -> bool {
         self.issued >= self.max_requests && self.in_flight == 0
     }
+
+    /// When this client next needs a [`MonitorClient::pump`]: immediately
+    /// if a response is already waiting at its monitor, at the earliest
+    /// request-timeout expiry, or whenever it could attempt a send (which
+    /// must be retried every cycle while the window is open — dense ticking
+    /// counts each refused attempt, and the event clock must match).
+    /// `Cycle::MAX` means "only a message can wake me".
+    pub fn next_wakeup(&self, sys: &System) -> Cycle {
+        let next = sys.now().saturating_add(1);
+        if sys.tile(self.node).monitor.inbox_len() > 0 {
+            return next;
+        }
+        let mut due = Cycle::MAX;
+        if self.timeout > 0 {
+            if let Some(expiry) = self
+                .sent_at
+                .values()
+                .map(|s| s.saturating_add(self.timeout))
+                .min()
+            {
+                due = due.min(expiry.max(next));
+            }
+        }
+        if self.in_flight < self.outstanding && self.issued < self.max_requests {
+            due = due.min(self.next_fire.max(next));
+        }
+        due
+    }
 }
 
 /// High bits of the tag reserved for the client namespace (see
@@ -240,12 +268,52 @@ pub fn client_server(
     (sys, cap)
 }
 
-/// Runs the system, pumping every client each cycle, until all clients are
+/// Runs the system, pumping every client as needed, until all clients are
 /// done or `max_cycles` pass. Returns the cycles consumed.
+///
+/// Under [`ClockMode::Dense`] every cycle ticks and every client is pumped
+/// every cycle. Under [`ClockMode::Event`] the system jumps between
+/// wakeups and clients are pumped only on cycles where a pump can act:
+/// when mail is waiting, a timeout expires, or a send could be attempted.
+/// Both stop on the same cycle with identical client statistics.
 pub fn drive(sys: &mut System, clients: &mut [&mut MonitorClient], max_cycles: u64) -> u64 {
     let start = sys.now();
-    for _ in 0..max_cycles {
-        sys.tick();
+    if clock_mode() == ClockMode::Dense {
+        for _ in 0..max_cycles {
+            sys.tick();
+            for c in clients.iter_mut() {
+                c.pump(sys);
+            }
+            if clients.iter().all(|c| c.done()) {
+                break;
+            }
+        }
+        return sys.now() - start;
+    }
+    let end = start.saturating_add(max_cycles);
+    while sys.now() < end {
+        // Dense checks `done` after every tick, so if the clients are
+        // already done it consumes exactly one cycle before breaking.
+        let mut due = if clients.iter().all(|c| c.done()) {
+            sys.now().saturating_add(1)
+        } else {
+            end
+        };
+        for c in clients.iter() {
+            due = due.min(c.next_wakeup(sys));
+        }
+        loop {
+            sys.advance_toward(due);
+            let now = sys.now();
+            if now >= due
+                || now >= end
+                || clients
+                    .iter()
+                    .any(|c| sys.tile(c.node).monitor.inbox_len() > 0)
+            {
+                break;
+            }
+        }
         for c in clients.iter_mut() {
             c.pump(sys);
         }

@@ -1,0 +1,146 @@
+//! Dense-vs-event clock equivalence under random workloads.
+//!
+//! The event core's contract (`DESIGN.md` §"Event-driven clock") is that
+//! skipping idle cycles is an invisible optimisation: every statistic a
+//! workload can observe — counts, latencies, end cycles — must match a
+//! dense per-cycle run byte for byte. These tests generate random
+//! client/server workloads (window sizes, think times, payload sizes,
+//! request timeouts, service costs), run each under both clocks, and
+//! compare the resulting [`ExperimentReport`] digests.
+//!
+//! The clock mode is process-global, so every test here serialises on one
+//! mutex and restores [`ClockMode::Event`] (the default) before returning.
+
+use apiary_accel::apps::echo::echo;
+use apiary_accel::apps::idle::idle;
+use apiary_bench::scenarios::{drive, MonitorClient};
+use apiary_bench::{ExperimentReport, Json};
+use apiary_core::{AppId, FaultPolicy, System, SystemConfig};
+use apiary_noc::NodeId;
+use apiary_sim::{set_clock_mode, ClockMode};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serialises tests in this binary: the clock mode is process-global.
+static CLOCK: Mutex<()> = Mutex::new(());
+
+#[derive(Debug, Clone)]
+struct ClientParams {
+    payload: usize,
+    outstanding: u32,
+    think: u64,
+    max_requests: u64,
+    timeout: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Params {
+    echo_cost: u64,
+    clients: Vec<ClientParams>,
+}
+
+fn arb_client() -> impl Strategy<Value = ClientParams> {
+    (
+        1usize..200,
+        1u32..6,
+        0u64..40,
+        1u64..50,
+        // 0 = wait forever; small timeouts exercise abandonment racing
+        // the reply, large ones never fire on an echo service.
+        prop_oneof![Just(0u64), 60u64..5_000],
+    )
+        .prop_map(
+            |(payload, outstanding, think, max_requests, timeout)| ClientParams {
+                payload,
+                outstanding,
+                think,
+                max_requests,
+                timeout,
+            },
+        )
+}
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    (0u64..80, prop::collection::vec(arb_client(), 1..3))
+        .prop_map(|(echo_cost, clients)| Params { echo_cost, clients })
+}
+
+/// Runs the workload under `mode` and returns a deterministic digest of
+/// everything a client can observe.
+fn run_system(mode: ClockMode, p: &Params) -> String {
+    set_clock_mode(mode);
+    let spots = [(NodeId(0), NodeId(5)), (NodeId(3), NodeId(6))];
+    let mut sys = System::new(SystemConfig::default());
+    let mut clients: Vec<MonitorClient> = Vec::new();
+    for (i, cp) in p.clients.iter().enumerate() {
+        let (cn, sn) = spots[i];
+        let app = AppId(i as u32 + 1);
+        sys.install(cn, Box::new(idle()), app, FaultPolicy::FailStop)
+            .expect("client slot free");
+        sys.install(sn, Box::new(echo(p.echo_cost)), app, FaultPolicy::FailStop)
+            .expect("server slot free");
+        let cap = sys.connect(cn, sn, false).expect("same app");
+        sys.connect(sn, cn, false).expect("reply path");
+        let mut c = MonitorClient::new(cn, cap, cp.payload).max_requests(cp.max_requests);
+        c.outstanding = cp.outstanding;
+        c.think = cp.think;
+        c.timeout = cp.timeout;
+        c.tag_base = (i as u64) << 48;
+        clients.push(c);
+    }
+    let mut refs: Vec<&mut MonitorClient> = clients.iter_mut().collect();
+    let consumed = drive(&mut sys, &mut refs, 400_000);
+    let mut metrics = Json::obj()
+        .set("cycles_consumed", consumed)
+        .set("end_cycle", sys.now().as_u64());
+    for (i, c) in clients.iter().enumerate() {
+        metrics = metrics.set(
+            format!("client{i}"),
+            Json::obj()
+                .set("issued", c.issued)
+                .set("completed", c.completed)
+                .set("errors", c.errors)
+                .set("refused", c.refused)
+                .set("lost", c.lost)
+                .set("rtt_p50", c.rtt.p50())
+                .set("rtt_p99", c.rtt.p99()),
+        );
+    }
+    ExperimentReport::new(
+        "PROP",
+        "dense-vs-event equivalence",
+        sys.now().as_u64(),
+        metrics,
+        String::new(),
+    )
+    .deterministic_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_and_event_clocks_agree(p in arb_params()) {
+        let _guard = CLOCK.lock().unwrap();
+        let event = run_system(ClockMode::Event, &p);
+        let dense = run_system(ClockMode::Dense, &p);
+        set_clock_mode(ClockMode::Event);
+        prop_assert_eq!(event, dense);
+    }
+}
+
+/// The cluster path (fabric ARQ, gossip, request timeouts, chaos windows)
+/// must agree too — E17's link-cut cell end to end under both clocks.
+#[test]
+fn cluster_cell_clocks_agree() {
+    use apiary_bench::experiments::e17_cluster_scaleout::{run_one, Chaos};
+    let _guard = CLOCK.lock().unwrap();
+    let run = |mode| {
+        set_clock_mode(mode);
+        format!("{:?}", run_one(2, Chaos::CutLink, 6_000))
+    };
+    let event = run(ClockMode::Event);
+    let dense = run(ClockMode::Dense);
+    set_clock_mode(ClockMode::Event);
+    assert_eq!(event, dense, "cluster cell diverged between clocks");
+}

@@ -37,7 +37,7 @@ use apiary_core::{AppId, FaultPolicy, System, SystemConfig, SystemError};
 use apiary_monitor::wire::{KIND_ERROR, KIND_REQUEST};
 use apiary_net::{BreakerConfig, BreakerState, RequestGen, RetryPolicy, Workload};
 use apiary_noc::{NodeId, TrafficClass};
-use apiary_sim::Cycle;
+use apiary_sim::{clock_mode, ClockMode, Cycle};
 use apiary_trace::{EventKind, LatencyTracker};
 use std::collections::BTreeMap;
 
@@ -506,6 +506,11 @@ impl ClusterSystem {
         std::mem::take(&mut self.completions)
     }
 
+    /// Whether finished requests await [`ClusterSystem::take_completions`].
+    pub fn has_completions(&self) -> bool {
+        !self.completions.is_empty()
+    }
+
     /// Request traffic drained: nothing pending at the cluster level, no
     /// forwarded work awaiting a local reply, every live board idle.
     /// Gossip deliberately does not count — it is a periodic background
@@ -609,7 +614,7 @@ impl ClusterSystem {
         }
 
         // 4. Fabric: deliveries and ARQ retransmission attribution.
-        let (deliveries, retx) = self.fabric.tick(now);
+        let (deliveries, retx) = self.fabric.step(now);
         for (src_board, n) in retx {
             if !self.boards[src_board as usize].alive {
                 continue;
@@ -756,10 +761,76 @@ impl ClusterSystem {
         }
     }
 
-    /// Ticks `n` cycles.
-    pub fn tick_n(&mut self, n: u64) {
-        for _ in 0..n {
+    /// The next cycle, no later than `horizon`, at which anything in the
+    /// cluster can happen: a board's kernel phases come due (including all
+    /// in-flight NoC traffic), a fabric link has work, a gossip round
+    /// fires, or a cluster-level request timeout expires. Every cycle
+    /// strictly before the returned one is provably a no-op for the whole
+    /// machine, so the event clock may skip it.
+    fn next_due(&self, horizon: Cycle) -> Cycle {
+        let now = self.now();
+        let next = now.saturating_add(1);
+        let mut due = horizon.max(next);
+        for b in &self.boards {
+            if b.alive {
+                due = due.min(b.sys.next_event_due(horizon));
+            }
+        }
+        due = due.min(self.fabric.next_activity(next));
+        let g = self.cfg.gossip_interval;
+        due = due.min(Cycle((self.ticks / g + 1) * g));
+        if let Some(d) = self.pending.values().map(|p| p.deadline).min() {
+            due = due.min(d.max(next));
+        }
+        due.max(next)
+    }
+
+    /// One event-clock step: fast-forward every live board (and the shared
+    /// tick counter) through the provably quiet cycles, then run the next
+    /// eventful cycle through the ordinary dense [`ClusterSystem::tick`].
+    /// Always advances at least one cycle and never beyond `horizon`.
+    fn event_step(&mut self, horizon: Cycle) {
+        let due = self.next_due(horizon);
+        if due.0 > self.ticks + 1 {
+            let resume = Cycle(due.0 - 1);
+            for b in &mut self.boards {
+                if b.alive {
+                    b.sys.skip_to(resume);
+                }
+            }
+            self.ticks = resume.0;
+        }
+        self.tick();
+    }
+
+    /// Advances time by one scheduling step: one cycle under the dense
+    /// clock, or up to the next cluster-wide wakeup (never beyond
+    /// `horizon`) under the event clock. Experiment drivers interleave
+    /// their own client wakeups with the cluster's exactly like the
+    /// single-board `System::advance_toward`.
+    pub fn advance_toward(&mut self, horizon: Cycle) {
+        if self.now() >= horizon {
+            return;
+        }
+        if clock_mode() == ClockMode::Dense {
             self.tick();
+        } else {
+            self.event_step(horizon);
+        }
+    }
+
+    /// Ticks `n` cycles (jumping between wakeups under the event clock;
+    /// both clocks end on the same cycle with bit-identical state).
+    pub fn tick_n(&mut self, n: u64) {
+        if clock_mode() == ClockMode::Dense {
+            for _ in 0..n {
+                self.tick();
+            }
+            return;
+        }
+        let end = Cycle(self.ticks.saturating_add(n));
+        while self.now() < end {
+            self.event_step(end);
         }
     }
 }
@@ -836,4 +907,63 @@ pub fn drive_clients(cluster: &mut ClusterSystem, clients: &mut [ClusterClient])
         }
         cl.last_breaker = state;
     }
+}
+
+/// Runs the cluster for up to `cycles` cycles with `clients` attached,
+/// stopping early when `stop` returns true. Under the dense clock this is
+/// the classic loop: tick, drive, check. Under the event clock the cluster
+/// jumps between wakeups and the clients are driven at every cycle where
+/// they can act — a completion is pending, or a client timed event
+/// (arrival, retry, breaker cooldown) is due. Skipped cycles are cycles
+/// where `drive_clients` would have been a pure no-op, and `stop` is
+/// re-checked after every executed cycle, so both clocks stop on the same
+/// cycle with bit-identical client stats.
+///
+/// Returns `true` if `stop` fired before the cycle budget ran out.
+pub fn run_clients(
+    cluster: &mut ClusterSystem,
+    clients: &mut [ClusterClient],
+    cycles: u64,
+    mut stop: impl FnMut(&ClusterSystem, &[ClusterClient]) -> bool,
+) -> bool {
+    let end = Cycle(cluster.now().as_u64().saturating_add(cycles));
+    if clock_mode() == ClockMode::Dense {
+        while cluster.now() < end {
+            cluster.tick();
+            drive_clients(cluster, clients);
+            if stop(cluster, clients) {
+                return true;
+            }
+        }
+        return false;
+    }
+    while cluster.now() < end {
+        // Next cycle any client does timed work. Client state only changes
+        // inside drive_clients, so this stays valid until the next drive.
+        let next = Cycle(cluster.now().as_u64().saturating_add(1));
+        let mut due = end;
+        for cl in clients.iter() {
+            if let Some(t) = cl.gen.next_timed_event() {
+                due = due.min(t.max(next));
+            }
+        }
+        loop {
+            cluster.advance_toward(due);
+            if cluster.now() >= due || cluster.has_completions() {
+                break;
+            }
+            // `stop` may flip on any executed cycle (e.g. the last board
+            // draining), not only on client-drive cycles. Client timed
+            // events are not due yet, so driving here would be a no-op —
+            // checking without driving matches the dense ordering.
+            if stop(cluster, clients) {
+                return true;
+            }
+        }
+        drive_clients(cluster, clients);
+        if stop(cluster, clients) {
+            return true;
+        }
+    }
+    false
 }

@@ -26,7 +26,7 @@ use apiary_cap::ServiceId;
 use apiary_net::arq::{Ack, GoBackNReceiver, GoBackNSender, Packet};
 use apiary_net::{Frame, Wire};
 use apiary_noc::NodeId;
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, Schedulable, Wakeup};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Endpoint id of the top-of-rack switch (star topology only).
@@ -360,6 +360,28 @@ impl Link {
     fn idle(&self) -> bool {
         self.backlog.is_empty() && self.tx.idle() && self.data.in_flight() == 0
     }
+
+    /// The earliest cycle at or after `next` at which a pump can do
+    /// anything: transmit queued or backlogged packets, hit the ARQ
+    /// retransmission timer, or receive a frame on either wire.
+    /// [`Cycle::MAX`] when the link is completely quiet. Pumping earlier is
+    /// a harmless no-op; pumping later than this would change ARQ timing.
+    fn next_activity(&self, next: Cycle) -> Cycle {
+        let mut due = Cycle::MAX;
+        if self.tx.queued() > 0 || (!self.backlog.is_empty() && self.tx.window_free()) {
+            due = next;
+        }
+        if let Some(t) = self.tx.next_timeout() {
+            due = due.min(t.max(next));
+        }
+        if let Some(t) = self.data.next_due() {
+            due = due.min(t.max(next));
+        }
+        if let Some(t) = self.acks.next_due() {
+            due = due.min(t.max(next));
+        }
+        due
+    }
 }
 
 /// Aggregate fabric counters.
@@ -462,7 +484,7 @@ impl Fabric {
     /// sort before ToR downlinks, so a frame can be switched the same cycle
     /// it reaches the ToR. Returns decoded deliveries plus per-source-board
     /// retransmission counts for the tracer.
-    pub fn tick(&mut self, now: Cycle) -> (Vec<ClusterMsg>, Vec<(u16, u64)>) {
+    pub fn step(&mut self, now: Cycle) -> (Vec<ClusterMsg>, Vec<(u16, u64)>) {
         let keys: Vec<(u16, u16)> = self.links.keys().copied().collect();
         let mut out = Vec::new();
         let mut retx = Vec::new();
@@ -489,6 +511,25 @@ impl Fabric {
         (out, retx)
     }
 
+    /// Advances the fabric by one cycle.
+    #[deprecated(note = "use `Fabric::step` (or drive via `Schedulable::wake`)")]
+    pub fn tick(&mut self, now: Cycle) -> (Vec<ClusterMsg>, Vec<(u16, u64)>) {
+        self.step(now)
+    }
+
+    /// The earliest cycle at or after `next` at which any link has work:
+    /// a queued transmission, an ARQ retransmission deadline, or a frame
+    /// arriving. [`Cycle::MAX`] when the whole fabric is quiet. Event-clock
+    /// drivers may skip every cycle strictly before this without changing
+    /// a single delivery or retransmission.
+    pub fn next_activity(&self, next: Cycle) -> Cycle {
+        self.links
+            .values()
+            .map(|l| l.next_activity(next))
+            .min()
+            .unwrap_or(Cycle::MAX)
+    }
+
     /// Nothing queued, unacked, or in flight anywhere.
     pub fn idle(&self) -> bool {
         self.links.values().all(Link::idle)
@@ -506,6 +547,22 @@ impl Fabric {
             s.loss_drops += l.data.dropped;
         }
         s
+    }
+}
+
+/// Deliveries and per-source-board retransmission counts accumulated by a
+/// [`Schedulable`]-driven fabric (the `Ctx` is the output sink).
+pub type FabricOutput = (Vec<ClusterMsg>, Vec<(u16, u64)>);
+
+impl Schedulable<FabricOutput> for Fabric {
+    fn wake(&mut self, now: Cycle, out: &mut FabricOutput) -> Wakeup {
+        let (msgs, retx) = self.step(now);
+        out.0.extend(msgs);
+        out.1.extend(retx);
+        match self.next_activity(now.saturating_add(1)) {
+            Cycle::MAX => Wakeup::Idle,
+            t => Wakeup::At(t),
+        }
     }
 }
 
@@ -528,7 +585,7 @@ mod tests {
     fn run(f: &mut Fabric, from: Cycle, cycles: u64) -> Vec<ClusterMsg> {
         let mut out = Vec::new();
         for c in 0..cycles {
-            out.extend(f.tick(Cycle(from.0 + c)).0);
+            out.extend(f.step(Cycle(from.0 + c)).0);
         }
         out
     }
@@ -591,7 +648,7 @@ mod tests {
             );
             f.send(&msg(0, 1, 1));
             for c in 0..10_000 {
-                if !f.tick(Cycle(c)).0.is_empty() {
+                if !f.step(Cycle(c)).0.is_empty() {
                     return c;
                 }
             }

@@ -34,7 +34,8 @@ pub mod fabric;
 
 pub use balancer::Balancer;
 pub use cluster::{
-    drive_clients, ClusterClient, ClusterConfig, ClusterSystem, Completion, SubmitError,
+    drive_clients, run_clients, ClusterClient, ClusterConfig, ClusterSystem, Completion,
+    SubmitError,
 };
 pub use directory::{DirEntry, Directory};
 pub use fabric::{Body, ClusterMsg, Fabric, FabricConfig, LinkConfig, Topology};

@@ -17,7 +17,7 @@ use apiary_mem::{DramConfig, DramModel};
 use apiary_monitor::monitor::wire_mem;
 use apiary_monitor::wire;
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, Wakeup};
 use std::collections::VecDeque;
 
 /// A completed-at-`done` reply waiting to leave.
@@ -124,8 +124,7 @@ impl Accelerator for MemoryService {
         self
     }
 
-    fn tick(&mut self, os: &mut dyn TileOs) {
-        let now = os.now();
+    fn wake(&mut self, now: Cycle, os: &mut dyn TileOs) -> Wakeup {
         // Flush due replies (keep order; the queue is roughly time-sorted
         // because DRAM completion times are near-monotonic per bank).
         let mut remaining = VecDeque::with_capacity(self.pending.len());
@@ -149,6 +148,13 @@ impl Accelerator for MemoryService {
                 continue;
             }
             self.handle(req, now);
+        }
+        // Sleep until the earliest in-flight DRAM completion; new requests
+        // re-arm the tile on arrival. DRAM bank state only advances when a
+        // request lands, so skipped cycles cannot change timing.
+        match self.pending.iter().map(|p| p.done).min() {
+            Some(done) => Wakeup::AtOrMessage(done.max(now.saturating_add(1))),
+            None => Wakeup::OnMessage,
         }
     }
 }
@@ -177,7 +183,7 @@ mod tests {
 
     fn pump(svc: &mut MemoryService, os: &mut MockOs, cycles: u64) {
         for _ in 0..cycles {
-            svc.tick(os);
+            svc.wake(os.now(), os);
             os.advance(1);
         }
     }
@@ -202,8 +208,12 @@ mod tests {
         let mut os = MockOs::new();
         let mut svc = MemoryService::new(4096, DramConfig::default());
         os.deliver(mem_req(wire::KIND_MEM_READ, 0, 64, &[], 1));
-        svc.tick(&mut os);
+        let w = svc.wake(os.now(), &mut os);
         assert!(os.sent.is_empty(), "completion is not instantaneous");
+        assert!(
+            matches!(w, Wakeup::AtOrMessage(t) if t > Cycle(0)),
+            "memory tile sleeps until the DRAM completion: {w:?}"
+        );
         pump(&mut svc, &mut os, 50);
         assert_eq!(os.sent.len(), 1);
     }

@@ -98,6 +98,22 @@ impl ReconfigController {
     pub fn pending(&self) -> usize {
         self.jobs.len()
     }
+
+    /// The earliest in-flight completion time, if any. The event clock
+    /// schedules a wakeup here so reconfigurations finish on the exact
+    /// cycle they would under dense ticking.
+    pub fn next_completion(&self) -> Option<Cycle> {
+        self.jobs.iter().map(|j| j.done_at).min()
+    }
+
+    /// Completion time of the in-flight job on `node`, if one exists.
+    pub fn completion_of(&self, node: NodeId) -> Option<Cycle> {
+        self.jobs
+            .iter()
+            .filter(|j| j.node == node)
+            .map(|j| j.done_at)
+            .min()
+    }
 }
 
 #[cfg(test)]

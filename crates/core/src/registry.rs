@@ -16,6 +16,7 @@ use apiary_accel::{Accelerator, TileOs};
 use apiary_cap::ServiceId;
 use apiary_monitor::wire;
 use apiary_noc::{NodeId, TrafficClass};
+use apiary_sim::{Cycle, Wakeup};
 use std::collections::BTreeMap;
 
 /// The registry accelerator.
@@ -112,7 +113,7 @@ impl Accelerator for RegistryService {
         self
     }
 
-    fn tick(&mut self, os: &mut dyn TileOs) {
+    fn wake(&mut self, _now: Cycle, os: &mut dyn TileOs) -> Wakeup {
         while let Some(req) = os.recv() {
             if req.msg.kind != wire::KIND_LOOKUP {
                 continue;
@@ -130,6 +131,8 @@ impl Accelerator for RegistryService {
                 Self::encode_reply(entry),
             );
         }
+        // Purely reactive: nothing to do until the next lookup arrives.
+        Wakeup::OnMessage
     }
 }
 
@@ -162,7 +165,7 @@ mod tests {
         assert_eq!(r.publish("kv", ServiceId(7), NodeId(9)), None);
         os.deliver(lookup("kv"));
         os.deliver(lookup("nonesuch"));
-        r.tick(&mut os);
+        r.wake(os.now(), &mut os);
         assert_eq!(r.lookups, 2);
         assert_eq!(r.misses, 1);
         assert_eq!(
@@ -188,7 +191,7 @@ mod tests {
         let mut d = lookup("kv");
         d.msg.kind = wire::KIND_REQUEST;
         os.deliver(d);
-        r.tick(&mut os);
+        r.wake(os.now(), &mut os);
         assert_eq!(r.lookups, 0);
         assert!(os.sent.is_empty());
     }

@@ -13,7 +13,7 @@ use apiary_cap::{CapError, CapKind, CapRef, Capability, EndpointId, Rights, Serv
 use apiary_mem::{AllocError, AllocPolicy, DramConfig, SegmentAllocator};
 use apiary_monitor::{Monitor, MonitorConfig, TileState};
 use apiary_noc::{Noc, NocConfig, NodeId};
-use apiary_sim::{Clock, Cycle};
+use apiary_sim::{clock_mode, Clock, ClockMode, Cycle, Wakeup};
 use apiary_trace::EventKind;
 use core::fmt;
 
@@ -270,6 +270,9 @@ impl System {
         tile.app = Some(app);
         tile.policy = policy;
         tile.env = CapEnv::new();
+        // A fresh accelerator is due immediately; its first wake reports
+        // its real schedule.
+        tile.wake = Wakeup::AtOrMessage(Cycle::ZERO);
         Ok(())
     }
 
@@ -678,7 +681,27 @@ impl System {
                                     spec.restarts_used += 1;
                                     sup.incidents[ii].phase = Phase::Reconfiguring;
                                 }
-                                Err(_) => { /* retry next tick */ }
+                                Err(_) => {
+                                    // The ICAP is mid-flight on this very
+                                    // tile. Rather than silently polling
+                                    // every cycle, park the incident until
+                                    // the blocking job lands — the exact
+                                    // cycle the old retry loop would have
+                                    // first succeeded — and leave a span in
+                                    // the trace so the stall is visible.
+                                    let resume = self
+                                        .reconfig
+                                        .completion_of(dst)
+                                        .unwrap_or_else(|| now.saturating_add(1));
+                                    sup.incidents[ii].phase = Phase::Backoff { restart_at: resume };
+                                    self.tiles[dst.index()].monitor.tracer_mut().record(
+                                        now,
+                                        dst.0,
+                                        EventKind::Note(format!(
+                                            "supervisor restart blocked by reconfig; retry at {resume}"
+                                        )),
+                                    );
+                                }
                             }
                         }
                         Phase::Reconfiguring if !self.reconfig.in_progress(dst) => {
@@ -780,11 +803,22 @@ impl System {
     // The cycle loop.
     // ------------------------------------------------------------------
 
-    /// Advances the machine by one cycle.
+    /// Advances the machine by one cycle (the dense reference clock: every
+    /// kernel phase runs every cycle). The event clock in [`System::run`]
+    /// reaches the same states by running [`System::cycle_phases`] only on
+    /// cycles a component scheduled a wakeup for.
     pub fn tick(&mut self) {
         let now = self.clock.tick();
-        self.noc.tick();
+        self.noc.step();
+        self.cycle_phases(now);
+    }
 
+    /// Everything a cycle does after the NoC moves its flits: reconfig
+    /// completions, inbound pumping, accelerator wakes, watchdogs, outbound
+    /// pumping and the supervisor. Both clocks funnel through this, so a
+    /// cycle that runs is identical under either; the clocks differ only in
+    /// *which* cycles run.
+    fn cycle_phases(&mut self, now: Cycle) {
         // Completed reconfigurations come online reset.
         for job in self.reconfig.take_completed(now) {
             let tile = &mut self.tiles[job.node.index()];
@@ -794,6 +828,7 @@ impl System {
             tile.policy = job.policy;
             tile.env = CapEnv::new();
             tile.busy_until = now;
+            tile.wake = Wakeup::AtOrMessage(Cycle::ZERO);
         }
 
         // Deliveries into monitors (fail-stopped tiles NACK here). Skip
@@ -822,12 +857,13 @@ impl System {
             }
             let tile = &mut self.tiles[i];
             let mut accel = tile.accel.take().expect("checked above");
-            let raised = {
+            let (wake, raised) = {
                 let mut os = KernelOs::new(&mut tile.monitor, &tile.env, now);
-                accel.tick(&mut os);
-                os.raised
+                let wake = accel.wake(now, &mut os);
+                (wake, os.raised)
             };
             tile.accel = Some(accel);
+            tile.wake = wake;
             if let Some(&code) = raised.first() {
                 self.apply_fault(node, code, now);
             }
@@ -854,11 +890,187 @@ impl System {
         }
     }
 
-    /// Runs for `cycles` cycles.
-    pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.tick();
+    /// The next cycle, no later than `horizon`, at which the kernel phases
+    /// could do something a skipped cycle would not: a reconfiguration
+    /// completes, an outbox head becomes ready, a watchdog window expires,
+    /// an accelerator's scheduled wakeup (or a message already waiting for
+    /// an `OnMessage` sleeper) comes due, or the supervisor has a detection
+    /// or backoff expiry pending. Undelivered NoC traffic is handled by the
+    /// caller, which steps the NoC densely while anything is in flight.
+    fn next_phase_due(&self, now: Cycle, horizon: Cycle) -> Cycle {
+        let next = now.saturating_add(1);
+        if self.noc.rx_pending_total() > 0 {
+            return next;
         }
+        let mut due = horizon;
+        if let Some(t) = self.reconfig.next_completion() {
+            due = due.min(t.max(next));
+        }
+        for tile in &self.tiles {
+            if let Some(ready) = tile.monitor.outbox_next_ready() {
+                due = due.min(ready.max(next));
+            }
+            if let Some(t) = tile.monitor.hang_deadline() {
+                due = due.min(t.max(next));
+            }
+            if tile.accel.is_some() && tile.monitor.state() != TileState::FailStopped {
+                let deadline = if tile.wake.wakes_on_message() && tile.monitor.inbox_len() > 0 {
+                    // The message it was sleeping on is already here.
+                    next
+                } else {
+                    tile.wake.deadline()
+                };
+                if deadline != Cycle::MAX {
+                    due = due.min(deadline.max(tile.busy_until).max(next));
+                }
+            }
+        }
+        if self.cfg.supervisor.enabled {
+            due = due.min(self.supervisor_due(next));
+        }
+        due.max(next)
+    }
+
+    /// The supervisor's contribution to [`System::next_phase_due`]: `next`
+    /// if a fail-stop is waiting to be detected, else the earliest backoff
+    /// expiry. Reconfiguring incidents close on the bitstream completion
+    /// cycle, which the reconfig deadline already covers.
+    fn supervisor_due(&self, next: Cycle) -> Cycle {
+        let mut due = Cycle::MAX;
+        for spec in &self.supervisor.specs {
+            match self.supervisor.open_incident(spec.service) {
+                None => {
+                    let node = spec.node;
+                    let abandoned = self
+                        .supervisor
+                        .incidents
+                        .iter()
+                        .rev()
+                        .find(|i| i.service == spec.service)
+                        .is_some_and(|i| i.abandoned());
+                    if self.tiles[node.index()].monitor.state() == TileState::FailStopped
+                        && !self.reconfig.in_progress(node)
+                        && !abandoned
+                    {
+                        return next;
+                    }
+                }
+                Some(ii) => {
+                    if let Phase::Backoff { restart_at } = self.supervisor.incidents[ii].phase {
+                        due = due.min(restart_at.max(next));
+                    }
+                }
+            }
+        }
+        due
+    }
+
+    /// One event-clock step: advance to the next cycle where the kernel
+    /// phases can matter — stepping the NoC cycle-by-cycle while traffic is
+    /// in flight (a delivery re-arms every `OnMessage` sleeper, so phases
+    /// run the cycle it lands), jumping the clock outright when the
+    /// interconnect is provably idle — then run the phases for that cycle.
+    /// Always advances at least one cycle and never beyond `horizon`.
+    fn event_step(&mut self, horizon: Cycle) {
+        let due = self.next_phase_due(self.clock.now(), horizon);
+        let now = loop {
+            if self.noc.pending() == 0 && self.noc.rx_pending_total() == 0 {
+                self.noc.skip_idle_to(due);
+                self.clock.advance_to(due);
+                break due;
+            }
+            let now = self.clock.tick();
+            self.noc.step();
+            if now >= due || self.noc.rx_pending_total() > 0 {
+                break now;
+            }
+        };
+        self.cycle_phases(now);
+    }
+
+    /// The next cycle, no later than `horizon`, at which this system can do
+    /// anything on its own: `now + 1` while NoC traffic is in flight or
+    /// undrained, else the earliest kernel-phase deadline. Lockstep drivers
+    /// that advance several systems against one shared clock (the cluster)
+    /// use this to find the global next event; every cycle strictly before
+    /// the returned one is provably a no-op for this system.
+    pub fn next_event_due(&self, horizon: Cycle) -> Cycle {
+        let now = self.clock.now();
+        if self.noc.pending() > 0 {
+            return now.saturating_add(1);
+        }
+        self.next_phase_due(now, horizon)
+    }
+
+    /// Jumps the clock to `target` without running any kernel phases. Only
+    /// sound when every cycle in `(now, target]` is a no-op — i.e. `target`
+    /// is strictly before what [`System::next_event_due`] reported (the NoC
+    /// must be empty, which that contract guarantees). The idle NoC still
+    /// accounts the skipped cycles and steps its chaos plane through them.
+    pub fn skip_to(&mut self, target: Cycle) {
+        debug_assert_eq!(self.noc.pending(), 0, "cannot skip over in-flight traffic");
+        self.noc.skip_idle_to(target);
+        self.clock.advance_to(target);
+    }
+
+    /// Runs for `cycles` cycles. Under [`ClockMode::Event`] the clock jumps
+    /// between scheduled wakeups; under [`ClockMode::Dense`] every cycle is
+    /// ticked. Both end at exactly the same time with bit-identical state.
+    pub fn run(&mut self, cycles: u64) {
+        let end = self.clock.now().saturating_add(cycles);
+        if clock_mode() == ClockMode::Dense {
+            while self.clock.now() < end {
+                self.tick();
+            }
+            return;
+        }
+        while self.clock.now() < end {
+            self.event_step(end);
+        }
+    }
+
+    /// Advances time by one scheduling step: one cycle under the dense
+    /// clock, or up to the next scheduled wakeup (never beyond `horizon`)
+    /// under the event clock. Harness components attached directly to
+    /// monitors — load generators, experiment drivers — use this to
+    /// interleave their own wakeups with the kernel's event loop: compute
+    /// your next deadline, `advance_toward` it in a loop, and check your
+    /// tiles for mail after each step.
+    pub fn advance_toward(&mut self, horizon: Cycle) {
+        if self.clock.now() >= horizon {
+            return;
+        }
+        if clock_mode() == ClockMode::Dense {
+            self.tick();
+        } else {
+            self.event_step(horizon);
+        }
+    }
+
+    /// Runs until `pred` returns `true` or `max_cycles` elapse; returns
+    /// whether the predicate fired. Under the dense clock the predicate is
+    /// checked after every cycle; under the event clock it is checked after
+    /// every cycle whose kernel phases ran. The two stop on exactly the
+    /// same cycle provided `pred` is a function of component state (which
+    /// only changes on phase cycles), not of raw clock time.
+    pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&System) -> bool) -> bool {
+        let end = self.clock.now().saturating_add(max_cycles);
+        if clock_mode() == ClockMode::Dense {
+            while self.clock.now() < end {
+                self.tick();
+                if pred(self) {
+                    return true;
+                }
+            }
+            return false;
+        }
+        while self.clock.now() < end {
+            self.event_step(end);
+            if pred(self) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Runs until no traffic has been in flight for a settle window (long
@@ -870,9 +1082,44 @@ impl System {
     /// a test client) may leave responses unread indefinitely.
     pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
         const SETTLE: u64 = 4096;
+        let end = self.clock.now().saturating_add(max_cycles);
+        if clock_mode() == ClockMode::Dense {
+            let mut quiet = 0u64;
+            for _ in 0..max_cycles {
+                self.tick();
+                if self.is_idle() {
+                    quiet += 1;
+                    if quiet >= SETTLE {
+                        return true;
+                    }
+                } else {
+                    quiet = 0;
+                }
+            }
+            return self.is_idle();
+        }
+        // Event clock: the idle streak only breaks on cycles the phases
+        // run, so count the skipped cycles in bulk. The settle window ends
+        // at exactly the cycle dense ticking would have stopped on.
         let mut quiet = 0u64;
-        for _ in 0..max_cycles {
-            self.tick();
+        while self.clock.now() < end {
+            let now = self.clock.now();
+            let due = self.next_phase_due(now, end);
+            if self.is_idle() {
+                let finish = now.saturating_add(SETTLE.saturating_sub(quiet));
+                if finish < due {
+                    self.noc.skip_idle_to(finish);
+                    self.clock.advance_to(finish);
+                    return true;
+                }
+                quiet += due.saturating_since(now).saturating_sub(1);
+                self.noc.skip_idle_to(due);
+                self.clock.advance_to(due);
+                self.cycle_phases(due);
+            } else {
+                quiet = 0;
+                self.event_step(end);
+            }
             if self.is_idle() {
                 quiet += 1;
                 if quiet >= SETTLE {

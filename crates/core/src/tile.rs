@@ -8,7 +8,7 @@ use apiary_cap::CapRef;
 use apiary_mem::AccessKind;
 use apiary_monitor::{Monitor, SendError};
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, Wakeup};
 use apiary_trace::EventKind;
 
 /// One mesh tile.
@@ -26,6 +26,11 @@ pub struct Tile {
     /// The tile is paused (preemption save/restore in progress) until this
     /// cycle.
     pub busy_until: Cycle,
+    /// The accelerator's last reported wakeup — when the event clock next
+    /// owes this tile a run. Dense ticking stores but ignores it. Kernel
+    /// lifecycle changes (install, reconfiguration completion) reset it to
+    /// "due now", which is always safe: a spurious wake is a no-op.
+    pub wake: Wakeup,
     /// Fault history.
     pub faults: Vec<FaultRecord>,
 }
@@ -40,6 +45,7 @@ impl Tile {
             app: None,
             policy: FaultPolicy::default(),
             busy_until: Cycle::ZERO,
+            wake: Wakeup::AtOrMessage(Cycle::ZERO),
             faults: Vec::new(),
         }
     }
@@ -79,6 +85,10 @@ impl TileOs for KernelOs<'_> {
 
     fn recv(&mut self) -> Option<Delivered> {
         self.monitor.recv()
+    }
+
+    fn inbox_depth(&self) -> usize {
+        self.monitor.inbox_len()
     }
 
     fn send(

@@ -444,9 +444,33 @@ impl Monitor {
             .is_some_and(|d| now - d.delivered_at > window)
     }
 
+    /// The first cycle at which [`Monitor::hang_detected`] would report the
+    /// current oldest delivery as hung, or `None` when no hang is brewing
+    /// (watchdog disarmed, tile not running, or inbox empty). The event
+    /// clock uses this to schedule a watchdog wakeup instead of polling
+    /// every cycle; consuming the delivery invalidates the deadline, which
+    /// is fine — waking on a stale deadline is merely spurious.
+    pub fn hang_deadline(&self) -> Option<Cycle> {
+        let window = self.cfg.watchdog_cycles?;
+        if self.state != TileState::Running {
+            return None;
+        }
+        self.inbox
+            .front()
+            .map(|d| d.delivered_at.saturating_add(window).saturating_add(1))
+    }
+
     // ------------------------------------------------------------------
     // Data-path pumping, driven by the kernel once per cycle.
     // ------------------------------------------------------------------
+
+    /// When the head of the outbox becomes eligible to inject, if anything
+    /// is queued. The outbox is head-of-line FIFO, so the event clock only
+    /// needs the front entry's ready time to schedule the next
+    /// [`Monitor::pump_out`] that can make progress.
+    pub fn outbox_next_ready(&self) -> Option<Cycle> {
+        self.outbox.front().map(|(ready, _)| *ready)
+    }
 
     /// Moves ready outbound messages into the NoC (stops on backpressure).
     pub fn pump_out(&mut self, noc: &mut Noc, now: Cycle) {

@@ -113,6 +113,23 @@ impl GoBackNSender {
         self.unacked.len()
     }
 
+    /// The retransmission deadline, if the timer is armed. [`GoBackNSender::poll`]
+    /// at or after this cycle requeues the window; polls before it are no-ops
+    /// (beyond draining the outbox).
+    pub fn next_timeout(&self) -> Option<Cycle> {
+        self.timer
+    }
+
+    /// Packets waiting in the outbox for the next [`GoBackNSender::poll`].
+    pub fn queued(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Whether [`GoBackNSender::offer`] would currently accept a payload.
+    pub fn window_free(&self) -> bool {
+        self.unacked.len() < self.window
+    }
+
     /// Everything offered has been acknowledged.
     pub fn idle(&self) -> bool {
         self.unacked.is_empty() && self.outbox.is_empty()

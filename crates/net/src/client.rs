@@ -350,6 +350,47 @@ impl RequestGen {
         }
     }
 
+    /// When this generator next needs a [`RequestGen::poll`] to make timed
+    /// progress: the next open-loop arrival, the next closed-loop refill,
+    /// a due retry, or the end of a breaker cooldown. `None` means only a
+    /// response can unblock it (the wire and the NoC carry those, and they
+    /// are timed separately). Spurious earlier polls are harmless no-ops,
+    /// so event-driven drivers may poll more often — never less.
+    ///
+    /// Arrivals and retries blocked by an *open* breaker are clamped to
+    /// the cooldown expiry: polling in between cannot issue anything, and
+    /// open-loop shed accounting still happens arrival-by-arrival because
+    /// open-loop arrivals are never clamped.
+    pub fn next_timed_event(&self) -> Option<Cycle> {
+        let mut due: Option<Cycle> = None;
+        let upd = |d: &mut Option<Cycle>, t: Cycle| *d = Some(d.map_or(t, |x: Cycle| x.min(t)));
+        let gate = match &self.breaker {
+            Some(b) if b.state == BreakerState::Open => Some(b.open_until),
+            _ => None,
+        };
+        for &(t, _) in &self.pending_retries {
+            upd(&mut due, gate.map_or(t, |g| t.max(g)));
+        }
+        match self.workload {
+            Workload::Open { .. } => {
+                if self.stats.issued < self.max_requests {
+                    // Never clamped: a shed arrival must be counted at its
+                    // own cycle, exactly as a dense per-cycle poll would.
+                    upd(&mut due, self.next_fire);
+                }
+            }
+            Workload::Closed { outstanding, .. } => {
+                if self.in_flight < outstanding && self.stats.issued < self.max_requests {
+                    upd(
+                        &mut due,
+                        gate.map_or(self.next_fire, |g| self.next_fire.max(g)),
+                    );
+                }
+            }
+        }
+        due
+    }
+
     /// Requests awaiting responses.
     pub fn in_flight(&self) -> u32 {
         self.in_flight

@@ -109,6 +109,12 @@ impl Wire {
     pub fn in_flight(&self) -> usize {
         self.queue.len()
     }
+
+    /// When the next in-flight frame arrives (`None` if the wire is empty).
+    /// Frames are queued in arrival order, so the head is the earliest.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.queue.front().map(|(at, _)| *at)
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use apiary_accel::{Accelerator, TileOs};
 use apiary_cap::CapRef;
 use apiary_monitor::wire as proto;
 use apiary_noc::TrafficClass;
+use apiary_sim::{Cycle, Wakeup};
 use std::collections::HashMap;
 
 /// Network front-end configuration.
@@ -115,9 +116,7 @@ impl Accelerator for EthernetTile {
         self
     }
 
-    fn tick(&mut self, os: &mut dyn TileOs) {
-        let now = os.now();
-
+    fn wake(&mut self, now: Cycle, os: &mut dyn TileOs) -> Wakeup {
         // 1. Clients issue requests onto the rx wire.
         for (idx, c) in self.clients.iter_mut().enumerate() {
             let port = c.port;
@@ -196,6 +195,29 @@ impl Accelerator for EthernetTile {
                 c.complete(frame.tag, now, is_error);
             }
         }
+
+        // Sleep until the earliest thing that can happen without a NoC
+        // message: a client's timed event (arrival, refill, retry, breaker
+        // cooldown) or a frame landing at either end of the wire. NoC
+        // responses re-arm the tile on delivery. Every state change above
+        // is gated on one of these times, so skipped cycles are no-ops.
+        let mut due = Cycle::MAX;
+        for c in &self.clients {
+            if let Some(t) = c.next_timed_event() {
+                due = due.min(t);
+            }
+        }
+        if let Some(t) = self.rx.next_due() {
+            due = due.min(t);
+        }
+        if let Some(t) = self.tx.next_due() {
+            due = due.min(t);
+        }
+        if due == Cycle::MAX {
+            Wakeup::OnMessage
+        } else {
+            Wakeup::AtOrMessage(due.max(now.saturating_add(1)))
+        }
     }
 }
 
@@ -248,16 +270,11 @@ mod tests {
         )
         .with_max_requests(20);
         let (mut sys, mac_node) = net_system(vec![gen]);
-        for _ in 0..20_000 {
-            sys.tick();
-            if sys
-                .accel_as::<EthernetTile>(mac_node)
+        sys.run_until(20_000, |s| {
+            s.accel_as::<EthernetTile>(mac_node)
                 .expect("installed")
                 .all_done()
-            {
-                break;
-            }
-        }
+        });
         let mac = sys.accel_as::<EthernetTile>(mac_node).expect("installed");
         let stats = &mac.client(0).stats;
         assert_eq!(stats.issued, 20);
@@ -303,16 +320,11 @@ mod tests {
             .with_max_requests(10)
         };
         let (mut sys, mac_node) = net_system(vec![mk(1, 1), mk(2, 2), mk(3, 3)]);
-        for _ in 0..60_000 {
-            sys.tick();
-            if sys
-                .accel_as::<EthernetTile>(mac_node)
+        sys.run_until(60_000, |s| {
+            s.accel_as::<EthernetTile>(mac_node)
                 .expect("installed")
                 .all_done()
-            {
-                break;
-            }
-        }
+        });
         let mac = sys.accel_as::<EthernetTile>(mac_node).expect("installed");
         for i in 0..3 {
             assert_eq!(mac.client(i).stats.completed, 10, "client {i}");
@@ -337,16 +349,11 @@ mod tests {
         sys.install(NodeId(9), Box::new(idle()), AppId(2), FaultPolicy::FailStop)
             .expect("free");
         sys.fail_stop(NodeId(5));
-        for _ in 0..60_000 {
-            sys.tick();
-            if sys
-                .accel_as::<EthernetTile>(mac_node)
+        sys.run_until(60_000, |s| {
+            s.accel_as::<EthernetTile>(mac_node)
                 .expect("installed")
                 .all_done()
-            {
-                break;
-            }
-        }
+        });
         let mac = sys.accel_as::<EthernetTile>(mac_node).expect("installed");
         let stats = &mac.client(0).stats;
         assert_eq!(stats.completed, 5);

@@ -15,7 +15,7 @@ use apiary_accel::{Accelerator, TileOs};
 use apiary_host::Resource;
 use apiary_monitor::wire;
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, Wakeup};
 use std::collections::VecDeque;
 
 /// Remote-service cost parameters (cycles at the 250 MHz fabric clock).
@@ -83,8 +83,7 @@ impl Accelerator for RemoteCpuProxy {
         self
     }
 
-    fn tick(&mut self, os: &mut dyn TileOs) {
-        let now = os.now();
+    fn wake(&mut self, now: Cycle, os: &mut dyn TileOs) -> Wakeup {
         // Relay completions whose round trip has elapsed.
         let mut keep = VecDeque::with_capacity(self.pending.len());
         while let Some((at, req)) = self.pending.pop_front() {
@@ -113,6 +112,12 @@ impl Accelerator for RemoteCpuProxy {
             let back = cpu_done + self.cfg.wire_latency;
             self.pending.push_back((back, req));
             self.forwarded += 1;
+        }
+        // Sleep until the earliest completion returns from the wire; a new
+        // request re-arms the tile on delivery.
+        match self.pending.iter().map(|(at, _)| *at).min() {
+            Some(at) => Wakeup::AtOrMessage(at.max(now.saturating_add(1))),
+            None => Wakeup::OnMessage,
         }
     }
 }
@@ -144,15 +149,15 @@ mod tests {
         let mut os = MockOs::new();
         os.deliver(request(1));
         let mut p = RemoteCpuProxy::new(cfg);
-        p.tick(&mut os);
+        p.wake(os.now(), &mut os);
         // Too early: 100 + 50 + 100 = 250 cycles minimum.
         for _ in 0..249 {
             os.advance(1);
-            p.tick(&mut os);
+            p.wake(os.now(), &mut os);
         }
         assert!(os.sent.is_empty());
         os.advance(1);
-        p.tick(&mut os);
+        p.wake(os.now(), &mut os);
         assert_eq!(os.sent.len(), 1);
         assert_eq!(p.completed, 1);
     }
@@ -172,17 +177,17 @@ mod tests {
         // All three arrive at the host at t=10; the single core serialises:
         // completions at 10+100+10, 10+200+10, 10+300+10.
         for _ in 0..=121 {
-            p.tick(&mut os);
+            p.wake(os.now(), &mut os);
             os.advance(1);
         }
         assert_eq!(p.completed, 1);
         for _ in 0..100 {
-            p.tick(&mut os);
+            p.wake(os.now(), &mut os);
             os.advance(1);
         }
         assert_eq!(p.completed, 2);
         for _ in 0..100 {
-            p.tick(&mut os);
+            p.wake(os.now(), &mut os);
             os.advance(1);
         }
         assert_eq!(p.completed, 3);
@@ -196,7 +201,7 @@ mod tests {
         err.msg.kind = wire::KIND_ERROR;
         os.deliver(err);
         let mut p = RemoteCpuProxy::new(RemoteConfig::default());
-        p.tick(&mut os);
+        p.wake(os.now(), &mut os);
         assert_eq!(p.forwarded, 0);
     }
 }

@@ -6,8 +6,8 @@ use crate::fault::{FaultEvent, FaultPlane};
 use crate::packet::{packetize, Delivered, Flit, FlitKind, Message, PacketId};
 use crate::router::{LockOwner, Router, PORTS};
 use crate::topology::{Direction, Mesh, NodeId, Port};
-use apiary_sim::{Cycle, Histogram};
-use std::collections::{HashMap, HashSet, VecDeque};
+use apiary_sim::{Cycle, FxHashMap, FxHashSet, Histogram, Schedulable, Wakeup};
+use std::collections::VecDeque;
 
 /// Why an injection was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,7 +121,7 @@ fn dir_index(d: Direction) -> usize {
 /// let msg = Message::new(NodeId(0), NodeId(15), TrafficClass::Request, vec![1, 2, 3]);
 /// noc.try_inject(NodeId(0), msg).expect("queue space");
 /// for _ in 0..100 {
-///     noc.tick();
+///     noc.step();
 /// }
 /// let got = noc.poll_eject(NodeId(15)).expect("delivered");
 /// assert_eq!(got.msg.payload, vec![1, 2, 3]);
@@ -138,21 +138,25 @@ pub struct Noc {
     /// Injection queues: `nic[node][vc]` holds packetised messages.
     nic: Vec<Vec<VecDeque<VecDeque<Flit>>>>,
     /// Inject timestamp per in-flight packet.
-    inject_time: HashMap<u64, Cycle>,
+    inject_time: FxHashMap<u64, Cycle>,
     /// Head-flit messages awaiting their tail at the destination.
-    reassembly: HashMap<u64, Box<Message>>,
+    reassembly: FxHashMap<u64, Box<Message>>,
     /// Delivered messages awaiting pickup, per node.
     eject_q: Vec<VecDeque<Delivered>>,
+    /// Total messages across all eject queues — lets the event clock ask
+    /// "does any tile have mail?" without scanning every node.
+    rx_pending: usize,
     next_packet: u64,
     in_flight: usize,
     stats: NocStats,
     /// Flits sent per outgoing link, indexed `[node][dir]` — the raw data
     /// behind [`Noc::link_utilization`].
     link_flits: Vec<[u64; 4]>,
-    /// Routing table: `routes[node][dst]` is the output port index, or
-    /// [`UNREACHABLE`]. Starts as pure XY and is recomputed (BFS detours,
-    /// XY preferred where still live) when a link dies permanently.
-    routes: Vec<Vec<u8>>,
+    /// Routing table, flat with stride `nodes`: `routes[node * nodes + dst]`
+    /// is the output port index, or [`UNREACHABLE`]. Starts as pure XY and
+    /// is recomputed (BFS detours, XY preferred where still live) when a
+    /// link dies permanently.
+    routes: Vec<u8>,
     /// Permanently dead outgoing links, `[node][dir]`.
     dead_links: Vec<[bool; 4]>,
     /// Transient outages: the cycle (exclusive) until which the link
@@ -163,7 +167,7 @@ pub struct Noc {
     stall_until: Vec<u64>,
     /// Packets detected corrupt at the destination, awaiting their tail so
     /// the whole packet can be dropped.
-    rx_poisoned: HashSet<u64>,
+    rx_poisoned: FxHashSet<u64>,
     /// Optional chaos plane driving random fault injection.
     fault_plane: Option<FaultPlane>,
     /// `stats.cycles` value at which a flit last moved anywhere; feeds the
@@ -182,7 +186,50 @@ pub struct Noc {
     link_occ: Vec<usize>,
     /// Packets queued in each node's NIC (all VCs).
     nic_occ: Vec<usize>,
+    // ------------------------------------------------------------------
+    // Flat shadow state for the switch-allocation fast path. The router
+    // FIFOs above stay the source of truth; these mirrors are maintained
+    // at every push/pop so the per-cycle allocator reads only small,
+    // cache-resident arrays instead of chasing VecDeque heads. Profiling
+    // put `phase_allocate` at ~73% of NoC time before this.
+    // ------------------------------------------------------------------
+    /// Per-node neighbour table, `nbr[node * 4 + dir]`, `u16::MAX` at mesh
+    /// edges. Mesh geometry is static, so this never changes.
+    nbr: Vec<u16>,
+    /// Head-of-FIFO summary, `heads[(node * 5 + port) * vcs + vc]`: packed
+    /// presence/head-flit flags and destination (see `H_PRESENT`). The
+    /// arrays are sized exactly (stride `vcs`, not a power of two) so the
+    /// whole shadow state stays L1-resident.
+    heads: Vec<u16>,
+    /// Per-node bitset over `(port << 3) | vc` of non-empty input FIFOs.
+    head_mask: Vec<u64>,
+    /// Input FIFO depths, same indexing as `heads` — O(1) credit checks.
+    fifo_len: Vec<u8>,
+    /// In-flight flits per `(node, dir, vc)`, `[(node * 4 + dir) * vcs + vc]`
+    /// — the link half of the credit computation.
+    link_vc: Vec<u8>,
+    /// Wormhole lock shadow, same indexing as `heads` over *output* ports:
+    /// the owning input port, or `NO_LOCK`.
+    lock_shadow: Vec<u8>,
+    /// Round-robin pointer shadow, `[node * 5 + out_port]`.
+    rr_shadow: Vec<u8>,
+    /// Reused per-step move list (avoids a per-cycle allocation).
+    moves_buf: Vec<Move>,
 }
+
+/// `heads` encoding: entry is valid (FIFO non-empty).
+const H_PRESENT: u16 = 1 << 15;
+/// `heads` encoding: the front flit is a head flit.
+const H_HEADFLIT: u16 = 1 << 14;
+/// `heads` encoding: destination node id (14 bits).
+const H_DST: u16 = (1 << 14) - 1;
+/// `lock_shadow` sentinel for "no lock held".
+const NO_LOCK: u8 = u8::MAX;
+/// Most VCs the shadow bitsets support (`5 * 8 = 40` mask bits).
+const MAX_VCS: usize = 8;
+/// Input-port index a flit arrives on after crossing a link in `DIRS[di]`:
+/// `Port::Dir(DIRS[di].opposite()).index()`.
+const OPP_PORT: [usize; 4] = [2, 1, 4, 3];
 
 /// Marker in [`Noc::routes`] for "no live path".
 const UNREACHABLE: u8 = u8::MAX;
@@ -198,13 +245,29 @@ impl Noc {
     /// Builds a NoC from a validated configuration.
     pub fn new(cfg: NocConfig) -> Noc {
         cfg.validate();
+        assert!(
+            cfg.vcs <= MAX_VCS,
+            "shadow arrays support at most {MAX_VCS} virtual channels"
+        );
         let mesh = Mesh::new(cfg.width, cfg.height);
         let n = mesh.nodes();
+        assert!(
+            n <= H_DST as usize + 1,
+            "node ids must fit the head encoding"
+        );
         let routes = (0..n)
-            .map(|src| {
-                (0..n)
-                    .map(|dst| mesh.route(NodeId(src as u16), NodeId(dst as u16)).index() as u8)
-                    .collect()
+            .flat_map(|src| {
+                (0..n).map(move |dst| {
+                    mesh.route(NodeId(src as u16), NodeId(dst as u16)).index() as u8
+                })
+            })
+            .collect();
+        let nbr = (0..n)
+            .flat_map(|node| {
+                DIRS.map(|d| {
+                    mesh.neighbor(NodeId(node as u16), d)
+                        .map_or(u16::MAX, |nb| nb.0)
+                })
             })
             .collect();
         Noc {
@@ -217,9 +280,10 @@ impl Noc {
             nic: (0..n)
                 .map(|_| (0..cfg.vcs).map(|_| VecDeque::new()).collect())
                 .collect(),
-            inject_time: HashMap::new(),
-            reassembly: HashMap::new(),
+            inject_time: FxHashMap::default(),
+            reassembly: FxHashMap::default(),
             eject_q: (0..n).map(|_| VecDeque::new()).collect(),
+            rx_pending: 0,
             next_packet: 0,
             in_flight: 0,
             stats: NocStats::default(),
@@ -228,13 +292,21 @@ impl Noc {
             dead_links: vec![[false; 4]; n],
             link_down_until: vec![[0; 4]; n],
             stall_until: vec![0; n],
-            rx_poisoned: HashSet::new(),
+            rx_poisoned: FxHashSet::default(),
             fault_plane: None,
             last_progress: 0,
             active_set: true,
             router_occ: vec![0; n],
             link_occ: vec![0; n],
             nic_occ: vec![0; n],
+            nbr,
+            heads: vec![0; n * PORTS * cfg.vcs],
+            head_mask: vec![0; n],
+            fifo_len: vec![0; n * PORTS * cfg.vcs],
+            link_vc: vec![0; n * 4 * cfg.vcs],
+            lock_shadow: vec![NO_LOCK; n * PORTS * cfg.vcs],
+            rr_shadow: vec![0; n * PORTS],
+            moves_buf: Vec::new(),
             cfg,
         }
     }
@@ -286,7 +358,7 @@ impl Noc {
         if msg.src != from || !self.mesh.contains(from) {
             return Err(InjectError::SrcMismatch);
         }
-        if self.routes[from.index()][msg.dst.index()] == UNREACHABLE {
+        if self.routes[from.index() * self.mesh.nodes() + msg.dst.index()] == UNREACHABLE {
             self.stats.dropped_unreachable += 1;
             return Err(InjectError::Unreachable);
         }
@@ -308,7 +380,11 @@ impl Noc {
 
     /// Takes one delivered message at `node`, if any.
     pub fn poll_eject(&mut self, node: NodeId) -> Option<Delivered> {
-        self.eject_q[node.index()].pop_front()
+        let d = self.eject_q[node.index()].pop_front();
+        if d.is_some() {
+            self.rx_pending -= 1;
+        }
+        d
     }
 
     /// Delivered messages waiting at `node`, without taking any.
@@ -325,7 +401,17 @@ impl Noc {
 
     /// Takes all delivered messages currently waiting at `node`.
     pub fn drain_eject(&mut self, node: NodeId) -> Vec<Delivered> {
-        self.eject_q[node.index()].drain(..).collect()
+        let v: Vec<Delivered> = self.eject_q[node.index()].drain(..).collect();
+        self.rx_pending -= v.len();
+        v
+    }
+
+    /// Delivered-but-unfetched messages across *all* nodes. The event
+    /// clock runs kernel phases whenever this is non-zero, so a delivery
+    /// implicitly re-arms every `OnMessage` sleeper on the same cycle it
+    /// would have been pumped in under dense ticking.
+    pub fn rx_pending_total(&self) -> usize {
+        self.rx_pending
     }
 
     /// Utilisation of every physical link as (source node, direction,
@@ -367,21 +453,31 @@ impl Noc {
         out
     }
 
-    /// Free buffer slots at the input `(node, port, vc)`, accounting for
-    /// flits already in flight on the feeding link.
-    fn credit(&self, node: usize, in_port_dir: Direction, vc: usize) -> usize {
-        let port = Port::Dir(in_port_dir).index();
-        let occupied = self.routers[node].inputs[port].fifos[vc].len();
-        // The feeding link is the neighbour's link toward us.
-        let nb = self
-            .mesh
-            .neighbor(NodeId(node as u16), in_port_dir)
-            .expect("credit only queried for existing links");
-        let inflight = self.links[nb.index()][dir_index(in_port_dir.opposite())]
-            .iter()
-            .filter(|(_, f)| f.vc == vc)
-            .count();
-        self.cfg.vc_buffer.saturating_sub(occupied + inflight)
+    /// Refreshes the head summary for input `(node, port, vc)` after a
+    /// FIFO mutation.
+    #[inline]
+    fn refresh_head(&mut self, node: usize, port: usize, vc: usize) {
+        let vcs = self.cfg.vcs;
+        let idx = (node * PORTS + port) * vcs + vc;
+        let entry = match self.routers[node].inputs[port].fifos[vc].front() {
+            Some(f) => {
+                H_PRESENT
+                    | if matches!(f.kind, FlitKind::Head(_)) {
+                        H_HEADFLIT
+                    } else {
+                        0
+                    }
+                    | f.dst.0
+            }
+            None => 0,
+        };
+        self.heads[idx] = entry;
+        let bit = 1u64 << (port << 3 | vc);
+        if entry == 0 {
+            self.head_mask[node] &= !bit;
+        } else {
+            self.head_mask[node] |= bit;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -403,7 +499,7 @@ impl Noc {
     pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
         self.mesh.contains(from)
             && self.mesh.contains(to)
-            && self.routes[from.index()][to.index()] != UNREACHABLE
+            && self.routes[from.index() * self.mesh.nodes() + to.index()] != UNREACHABLE
     }
 
     /// Permanently kills the outgoing link `node -> dir`: flits currently
@@ -483,7 +579,7 @@ impl Noc {
     /// fault-free pairs keep their original routes.
     fn recompute_routes(&mut self) {
         let n = self.mesh.nodes();
-        self.routes = vec![vec![UNREACHABLE; n]; n];
+        self.routes = vec![UNREACHABLE; n * n];
         for dst in 0..n {
             // BFS from the destination over *reversed* live links.
             let mut dist = vec![u32::MAX; n];
@@ -505,7 +601,7 @@ impl Noc {
             }
             for src in 0..n {
                 if src == dst {
-                    self.routes[src][dst] = Port::Local.index() as u8;
+                    self.routes[src * n + dst] = Port::Local.index() as u8;
                     continue;
                 }
                 if dist[src] == u32::MAX {
@@ -534,7 +630,7 @@ impl Noc {
                         }
                     }
                 }
-                self.routes[src][dst] = chosen
+                self.routes[src * n + dst] = chosen
                     .expect("a reachable node has a live next hop")
                     .index() as u8;
             }
@@ -545,16 +641,16 @@ impl Noc {
     /// half: any packet with a flit buffered (or in flight toward) a node
     /// whose next hop for that destination changed, and partially streamed
     /// NIC packets at sources whose route changed.
-    fn flush_rerouted(&mut self, old_routes: &[Vec<u8>]) {
+    fn flush_rerouted(&mut self, old_routes: &[u8]) {
+        let n = self.mesh.nodes();
         // (packet, destination now unreachable?) for every affected flit.
         let mut doomed: Vec<(u64, bool)> = Vec::new();
-        let note =
-            |routes: &Vec<Vec<u8>>, at: usize, flit: &Flit, doomed: &mut Vec<(u64, bool)>| {
-                let new = routes[at][flit.dst.index()];
-                if new != old_routes[at][flit.dst.index()] {
-                    doomed.push((flit.packet.0, new == UNREACHABLE));
-                }
-            };
+        let note = |routes: &[u8], at: usize, flit: &Flit, doomed: &mut Vec<(u64, bool)>| {
+            let new = routes[at * n + flit.dst.index()];
+            if new != old_routes[at * n + flit.dst.index()] {
+                doomed.push((flit.packet.0, new == UNREACHABLE));
+            }
+        };
         for (node, router) in self.routers.iter().enumerate() {
             for port in &router.inputs {
                 for fifo in &port.fifos {
@@ -586,7 +682,7 @@ impl Noc {
                     let started = !matches!(first.kind, FlitKind::Head(_));
                     if started {
                         note(&self.routes, node, first, &mut doomed);
-                    } else if self.routes[node][first.dst.index()] == UNREACHABLE {
+                    } else if self.routes[node * n + first.dst.index()] == UNREACHABLE {
                         doomed.push((first.packet.0, true));
                     }
                 }
@@ -640,14 +736,32 @@ impl Noc {
         self.recount_occupancy();
     }
 
-    /// Rebuilds the active-set occupancy counters from scratch. Only needed
-    /// after bulk removals ([`Noc::purge_packet`]'s retains); the per-flit
-    /// paths maintain the counters incrementally.
+    /// Rebuilds the active-set occupancy counters and the allocator's flat
+    /// shadow state from scratch. Only needed after bulk removals
+    /// ([`Noc::purge_packet`]'s retains); the per-flit paths maintain
+    /// everything incrementally.
     fn recount_occupancy(&mut self) {
         for n in 0..self.mesh.nodes() {
             self.router_occ[n] = self.routers[n].buffered();
             self.link_occ[n] = self.links[n].iter().map(|l| l.len()).sum();
             self.nic_occ[n] = self.nic[n].iter().map(|q| q.len()).sum();
+            self.head_mask[n] = 0;
+            for port in 0..PORTS {
+                for vc in 0..self.cfg.vcs {
+                    let idx = (n * PORTS + port) * self.cfg.vcs + vc;
+                    self.fifo_len[idx] = self.routers[n].inputs[port].fifos[vc].len() as u8;
+                    self.refresh_head(n, port, vc);
+                    self.lock_shadow[idx] =
+                        self.routers[n].out_lock[port][vc].map_or(NO_LOCK, |o| o.in_port as u8);
+                }
+                self.rr_shadow[n * PORTS + port] = self.routers[n].rr[port] as u8;
+            }
+            for di in 0..4 {
+                for vc in 0..self.cfg.vcs {
+                    self.link_vc[(n * 4 + di) * self.cfg.vcs + vc] =
+                        self.links[n][di].iter().filter(|(_, f)| f.vc == vc).count() as u8;
+                }
+            }
         }
     }
 
@@ -707,12 +821,8 @@ impl Noc {
         self.dead_links[node][di] || self.link_down_until[node][di] > self.now.as_u64()
     }
 
-    fn stalled(&self, node: usize) -> bool {
-        self.stall_until[node] > self.now.as_u64()
-    }
-
     /// Advances the network by one cycle.
-    pub fn tick(&mut self) {
+    pub fn step(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
         // Chaos first: this cycle's faults land before traffic moves.
@@ -723,11 +833,66 @@ impl Noc {
             }
         }
         self.phase_link_arrivals();
-        let moves = self.phase_allocate();
+        self.phase_allocate();
+        let moves = std::mem::take(&mut self.moves_buf);
         self.phase_apply(&moves, plane.as_mut());
+        self.moves_buf = moves;
         self.phase_inject();
         self.fault_plane = plane;
         self.check_progress_valve();
+    }
+
+    /// Advances the network by one cycle.
+    #[deprecated(note = "use `Noc::step` (or drive via `Schedulable::wake`)")]
+    pub fn tick(&mut self) {
+        self.step();
+    }
+
+    /// Skips ahead through provably idle cycles, up to and including
+    /// `target`. While no packet is in flight every phase of
+    /// [`Noc::step`] is a no-op, so the clock and cycle counter can jump
+    /// in one go; an installed chaos plane is still stepped cycle-by-cycle
+    /// (its RNG draws are part of the deterministic timeline) and its fault
+    /// events land exactly when they would under dense ticking. Returns
+    /// the cycle actually reached — always `target` unless traffic appears
+    /// (it cannot, mid-skip, but the guard keeps the contract obvious).
+    pub fn skip_idle_to(&mut self, target: Cycle) -> Cycle {
+        if self.in_flight > 0 {
+            return self.now;
+        }
+        match self.fault_plane.take() {
+            None => {
+                if target > self.now {
+                    self.stats.cycles += target - self.now;
+                    self.now = target;
+                    self.last_progress = self.stats.cycles;
+                }
+            }
+            Some(mut plane) => {
+                while self.now < target {
+                    self.now += 1;
+                    self.stats.cycles += 1;
+                    for ev in plane.step(self.now, &self.mesh) {
+                        self.apply_fault_event(ev);
+                    }
+                    self.last_progress = self.stats.cycles;
+                }
+                self.fault_plane = Some(plane);
+            }
+        }
+        self.now
+    }
+
+    /// The next cycle at which stepping this NoC could change state, or
+    /// `None` when it is empty (nothing buffered, nothing in flight). An
+    /// empty NoC only becomes busy through [`Noc::try_inject`] — message
+    /// arrival, in scheduling terms.
+    pub fn next_activity(&self) -> Option<Cycle> {
+        if self.in_flight > 0 {
+            Some(self.now + 1)
+        } else {
+            None
+        }
     }
 
     /// Runs until no messages are in flight or `max_cycles` elapse; returns
@@ -737,7 +902,7 @@ impl Noc {
             if self.in_flight == 0 {
                 return true;
             }
-            self.tick();
+            self.step();
         }
         self.in_flight == 0
     }
@@ -747,24 +912,31 @@ impl Noc {
             if self.active_set && self.link_occ[node] == 0 {
                 continue;
             }
-            for (di, d) in DIRS.iter().enumerate() {
-                let Some(nb) = self.mesh.neighbor(NodeId(node as u16), *d) else {
+            for (di, &in_port) in OPP_PORT.iter().enumerate() {
+                let nb = self.nbr[node * 4 + di] as usize;
+                if nb == u16::MAX as usize {
                     continue;
-                };
-                let in_port = Port::Dir(d.opposite()).index();
+                }
                 while let Some(&(at, _)) = self.links[node][di].front() {
                     if at > self.now {
                         break;
                     }
                     let (_, flit) = self.links[node][di].pop_front().expect("peeked");
                     self.link_occ[node] -= 1;
-                    let fifo = &mut self.routers[nb.index()].inputs[in_port].fifos[flit.vc];
+                    let vc = flit.vc;
+                    self.link_vc[(node * 4 + di) * self.cfg.vcs + vc] -= 1;
+                    let fifo = &mut self.routers[nb].inputs[in_port].fifos[vc];
                     debug_assert!(
                         fifo.len() < self.cfg.vc_buffer,
                         "credit accounting must guarantee buffer space"
                     );
+                    let was_empty = fifo.is_empty();
                     fifo.push_back(flit);
-                    self.router_occ[nb.index()] += 1;
+                    self.fifo_len[(nb * PORTS + in_port) * self.cfg.vcs + vc] += 1;
+                    if was_empty {
+                        self.refresh_head(nb, in_port, vc);
+                    }
+                    self.router_occ[nb] += 1;
                     self.last_progress = self.stats.cycles;
                 }
             }
@@ -774,53 +946,134 @@ impl Noc {
     /// Switch allocation: per output port, strict priority across VCs
     /// (lower class first), round-robin across input ports, wormhole lock
     /// and credit checks. At most one flit per output port per cycle.
-    fn phase_allocate(&self) -> Vec<Move> {
-        let mut moves = Vec::new();
-        for node in 0..self.mesh.nodes() {
+    ///
+    /// Candidate-driven: instead of scanning every `(out, vc, in)` triple,
+    /// iterate the non-empty FIFO heads (the `head_mask` bitset), bucket
+    /// them by the output port their destination routes to, and arbitrate
+    /// only the demanded `(out, vc)` pairs. An `(out, vc)` with no buffered
+    /// head routed to it can never produce a move, and the dense scan's
+    /// skipped checks (credit, lock) have no side effects — so this visits
+    /// exactly the triples that matter, in the same deterministic order.
+    /// Fills `self.moves_buf`.
+    fn phase_allocate(&mut self) {
+        let mut moves = std::mem::take(&mut self.moves_buf);
+        moves.clear();
+        let n = self.mesh.nodes();
+        let vcs = self.cfg.vcs;
+        let vc_buffer = self.cfg.vc_buffer as u32;
+        let now = self.now.as_u64();
+        // `cand` entries are only read for `(out, vc)` pairs whose `demand`
+        // bit was set this node, and setting that bit overwrites the entry —
+        // so stale values from earlier nodes are never observed and the
+        // buckets need no per-node clear.
+        let mut cand = [[0u8; MAX_VCS]; PORTS];
+        for node in 0..n {
             // A router with no buffered flits cannot source a move: every
             // move pops an input-FIFO head. Skipping it leaves `rr` and
             // locks untouched, which is what the dense scan does too.
-            if self.active_set && self.router_occ[node] == 0 {
+            // (`head_mask == 0` iff every input FIFO is empty.)
+            let mask = self.head_mask[node];
+            if mask == 0 {
                 continue;
             }
-            if self.stalled(node) {
+            if self.stall_until[node] > now {
                 continue;
             }
-            let router = &self.routers[node];
-            for out_port in 0..PORTS {
-                // Output link existence check for mesh edges.
-                let out_dir = match out_port {
-                    0 => None,
-                    i => Some(DIRS[i - 1]),
-                };
-                if let Some(d) = out_dir {
-                    if self.mesh.neighbor(NodeId(node as u16), d).is_none() {
+            let hbase = node * PORTS * vcs;
+            let rbase = node * n;
+            // Fast path: one buffered head means at most one candidate move,
+            // so the arbitration below (bucket, vc priority, round-robin)
+            // degenerates to a single eligibility check.
+            if mask & (mask - 1) == 0 {
+                let bit = mask.trailing_zeros() as usize;
+                let (port, vc) = (bit >> 3, bit & 7);
+                let head = self.heads[hbase + port * vcs + vc];
+                let out = self.routes[rbase + (head & H_DST) as usize];
+                if out == UNREACHABLE {
+                    continue;
+                }
+                let out_port = out as usize;
+                if out_port != 0 {
+                    let di = out_port - 1;
+                    let nb = self.nbr[node * 4 + di] as usize;
+                    let occupied = self.fifo_len[(nb * PORTS + OPP_PORT[di]) * vcs + vc] as u32;
+                    let inflight = self.link_vc[(node * 4 + di) * vcs + vc] as u32;
+                    if occupied + inflight >= vc_buffer {
                         continue;
                     }
                 }
-                'found: for vc in 0..self.cfg.vcs {
+                let lock = self.lock_shadow[hbase + out_port * vcs + vc];
+                let eligible = if lock == NO_LOCK {
+                    head & H_HEADFLIT != 0
+                } else {
+                    lock as usize == port
+                };
+                if eligible {
+                    moves.push(Move {
+                        node,
+                        in_port: port,
+                        vc,
+                        out_port,
+                    });
+                }
+                continue;
+            }
+            // Bucket buffered heads by demanded output port. Routes only
+            // ever point at existing links (XY and the BFS rebuild both
+            // route over live topology), so no edge-existence check is
+            // needed; `UNREACHABLE` heads match no output, as in the dense
+            // scan where no `out_port` equals 255.
+            let mut demand = [0u8; PORTS];
+            let mut m = mask;
+            while m != 0 {
+                let bit = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let (port, vc) = (bit >> 3, bit & 7);
+                let dst = (self.heads[hbase + port * vcs + vc] & H_DST) as usize;
+                let out = self.routes[rbase + dst];
+                if out == UNREACHABLE {
+                    continue;
+                }
+                let out = out as usize;
+                let vbit = 1u8 << vc;
+                if demand[out] & vbit == 0 {
+                    demand[out] |= vbit;
+                    cand[out][vc] = 1 << port;
+                } else {
+                    cand[out][vc] |= 1 << port;
+                }
+            }
+            for (out_port, &dvc) in demand.iter().enumerate() {
+                if dvc == 0 {
+                    continue;
+                }
+                let rr = self.rr_shadow[node * PORTS + out_port] as usize;
+                #[allow(clippy::needless_range_loop)] // `vc` indexes heads/fifo_len/link_vc too
+                'found: for vc in 0..vcs {
+                    if dvc & (1 << vc) == 0 {
+                        continue;
+                    }
                     // Credit check once per (out, vc).
-                    if let Some(d) = out_dir {
-                        let nb = self
-                            .mesh
-                            .neighbor(NodeId(node as u16), d)
-                            .expect("checked above");
-                        if self.credit(nb.index(), d.opposite(), vc) == 0 {
+                    if out_port != 0 {
+                        let di = out_port - 1;
+                        let nb = self.nbr[node * 4 + di] as usize;
+                        let occupied = self.fifo_len[(nb * PORTS + OPP_PORT[di]) * vcs + vc] as u32;
+                        let inflight = self.link_vc[(node * 4 + di) * vcs + vc] as u32;
+                        if occupied + inflight >= vc_buffer {
                             continue;
                         }
                     }
-                    let lock = router.out_lock[out_port][vc];
+                    let lock = self.lock_shadow[hbase + out_port * vcs + vc];
+                    let cbits = cand[out_port][vc];
                     for k in 1..=PORTS {
-                        let in_port = (router.rr[out_port] + k) % PORTS;
-                        let Some(head) = router.inputs[in_port].fifos[vc].front() else {
-                            continue;
-                        };
-                        if self.routes[node][head.dst.index()] != out_port as u8 {
+                        let in_port = (rr + k) % PORTS;
+                        if cbits & (1 << in_port) == 0 {
                             continue;
                         }
-                        let eligible = match lock {
-                            None => matches!(head.kind, FlitKind::Head(_)),
-                            Some(owner) => owner.in_port == in_port,
+                        let eligible = if lock == NO_LOCK {
+                            self.heads[hbase + in_port * vcs + vc] & H_HEADFLIT != 0
+                        } else {
+                            lock as usize == in_port
                         };
                         if !eligible {
                             continue;
@@ -836,7 +1089,7 @@ impl Noc {
                 }
             }
         }
-        moves
+        self.moves_buf = moves;
     }
 
     fn phase_apply(&mut self, moves: &[Move], mut plane: Option<&mut FaultPlane>) {
@@ -848,17 +1101,23 @@ impl Noc {
                 .pop_front()
                 .expect("move references a buffered flit");
             self.router_occ[m.node] -= 1;
+            self.fifo_len[(m.node * PORTS + m.in_port) * self.cfg.vcs + m.vc] -= 1;
+            self.refresh_head(m.node, m.in_port, m.vc);
             // Wormhole lock maintenance.
             let lock = &mut self.routers[m.node].out_lock[m.out_port][m.vc];
+            let shadow = &mut self.lock_shadow[(m.node * PORTS + m.out_port) * self.cfg.vcs + m.vc];
             if flit.is_tail {
                 *lock = None;
+                *shadow = NO_LOCK;
             } else if matches!(flit.kind, FlitKind::Head(_)) {
                 *lock = Some(LockOwner {
                     in_port: m.in_port,
                     packet: flit.packet,
                 });
+                *shadow = m.in_port as u8;
             }
             self.routers[m.node].rr[m.out_port] = m.in_port;
+            self.rr_shadow[m.node * PORTS + m.out_port] = m.in_port as u8;
 
             if m.out_port == Port::Local.index() {
                 self.eject(m.node, flit);
@@ -873,6 +1132,7 @@ impl Noc {
                     flit.corrupt();
                 }
                 let arrive = self.now + 1 + self.cfg.hop_latency;
+                self.link_vc[(m.node * 4 + di) * self.cfg.vcs + m.vc] += 1;
                 self.links[m.node][di].push_back((arrive, flit));
                 self.link_occ[m.node] += 1;
                 self.link_flits[m.node][di] += 1;
@@ -948,6 +1208,7 @@ impl Noc {
         self.stats.latency.record(d.latency());
         self.stats.delivered += 1;
         self.in_flight -= 1;
+        self.rx_pending += 1;
         self.eject_q[node].push_back(d);
     }
 
@@ -960,7 +1221,8 @@ impl Noc {
                 continue;
             }
             for vc in 0..self.cfg.vcs {
-                if self.routers[node].inputs[local].fifos[vc].len() >= self.cfg.vc_buffer {
+                let len_idx = (node * PORTS + local) * self.cfg.vcs + vc;
+                if self.fifo_len[len_idx] as usize >= self.cfg.vc_buffer {
                     continue;
                 }
                 let Some(pkt) = self.nic[node][vc].front_mut() else {
@@ -971,11 +1233,32 @@ impl Noc {
                     self.nic[node][vc].pop_front();
                     self.nic_occ[node] -= 1;
                 }
-                self.routers[node].inputs[local].fifos[vc].push_back(flit);
+                let fifo = &mut self.routers[node].inputs[local].fifos[vc];
+                let was_empty = fifo.is_empty();
+                fifo.push_back(flit);
+                self.fifo_len[len_idx] += 1;
+                if was_empty {
+                    self.refresh_head(node, local, vc);
+                }
                 self.router_occ[node] += 1;
                 self.last_progress = self.stats.cycles;
                 break; // One flit per node per cycle.
             }
+        }
+    }
+}
+
+/// The NoC under the unified wakeup contract: one `wake` advances the
+/// network one cycle and reports when it next needs to run. The NoC keeps
+/// its own clock (`Noc::now`); drivers are expected to call `wake` once per
+/// elapsed simulated cycle while the network is busy, and may park it on
+/// the returned `OnMessage` when it drains (re-arming on `try_inject`).
+impl Schedulable for Noc {
+    fn wake(&mut self, _now: Cycle, _ctx: &mut ()) -> Wakeup {
+        self.step();
+        match self.next_activity() {
+            Some(t) => Wakeup::AtOrMessage(t),
+            None => Wakeup::OnMessage,
         }
     }
 }
@@ -1090,7 +1373,7 @@ mod tests {
                 }
             }
             for _ in 0..50 {
-                noc.tick();
+                noc.step();
             }
         }
         assert!(noc.run_until_quiescent(100_000));
@@ -1128,7 +1411,7 @@ mod tests {
         }
         // Let bulk get going.
         for _ in 0..20 {
-            noc.tick();
+            noc.step();
         }
         // Now a control message on the same path.
         let mut c = msg(0, 7, 16);
@@ -1212,7 +1495,7 @@ mod fault_tests {
         let mut noc = Noc::new(NocConfig::soft(4, 1));
         noc.fail_link_for(NodeId(0), Direction::East, 50);
         for _ in 0..60 {
-            noc.tick();
+            noc.step();
         }
         noc.try_inject(NodeId(0), msg(0, 3, 64)).expect("space");
         assert!(noc.run_until_quiescent(100_000));
@@ -1259,7 +1542,7 @@ mod fault_tests {
             let _ = noc.try_inject(NodeId(s), msg(s, (s + 7) % 16, 400));
         }
         for _ in 0..10 {
-            noc.tick();
+            noc.step();
         }
         // Sever several links while packets are streaming.
         noc.kill_link(NodeId(1), Direction::East);
@@ -1305,7 +1588,7 @@ mod fault_tests {
                     let _ = noc.try_inject(NodeId(s), m);
                 }
                 for _ in 0..8 {
-                    noc.tick();
+                    noc.step();
                 }
                 for n in 0..16u16 {
                     for d in noc.drain_eject(NodeId(n)) {
@@ -1357,7 +1640,7 @@ mod fault_tests {
                     }
                 }
                 for _ in 0..8 {
-                    noc.tick();
+                    noc.step();
                 }
                 for n in 0..16u16 {
                     for d in noc.drain_eject(NodeId(n)) {
@@ -1398,7 +1681,7 @@ mod fault_tests {
                 let _ = noc.try_inject(NodeId(s), msg(s, (s + 7) % 16, 400));
             }
             for _ in 0..10 {
-                noc.tick();
+                noc.step();
             }
             noc.kill_link(NodeId(1), Direction::East);
             noc.kill_link(NodeId(5), Direction::North);

@@ -76,7 +76,7 @@ proptest! {
                 seq += 1;
             }
             for _ in 0..s.gap {
-                noc.tick();
+                noc.step();
             }
         }
 

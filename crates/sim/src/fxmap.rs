@@ -1,0 +1,115 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! `std`'s default SipHash is DoS-resistant but costs tens of nanoseconds
+//! per lookup — real money when the NoC touches per-packet maps hundreds of
+//! times per simulated cycle. Simulation state is never attacker-controlled,
+//! so a multiply-xor hash (the FxHash construction from rustc) is safe and
+//! several times faster. The hash is fully deterministic (no per-process
+//! random seed), which also keeps iteration order stable across runs —
+//! though simulation code must still never iterate a hash map where order
+//! reaches results.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (FxHash): one multiply per word, no finalizer.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert!(m.contains_key(&k));
+        }
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let h = |v: u64| {
+            let mut hh = FxHasher::default();
+            hh.write_u64(v);
+            hh.finish()
+        };
+        assert_eq!(h(42), h(42));
+        // Sequential keys must land in distinct buckets of a small table.
+        let buckets: HashSet<u64> = (0..64).map(|v| h(v) >> 57).collect();
+        assert!(buckets.len() > 16, "only {} of 64 buckets", buckets.len());
+    }
+
+    #[test]
+    fn byte_writes_match_length() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is a longer key");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is a longer kez");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

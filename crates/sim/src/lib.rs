@@ -5,22 +5,36 @@
 //!
 //! - [`Cycle`], a newtype for simulated clock cycles, with saturating
 //!   arithmetic helpers,
-//! - [`EventQueue`], a deterministic time-ordered event queue,
+//! - [`EventQueue`], a deterministic time-ordered event queue with
+//!   cancellation handles — the public scheduling API of the event core,
+//! - [`Wakeup`] and [`Schedulable`], the wakeup-scheduling contract that
+//!   replaced per-cycle ticking: components report when they next need to
+//!   run and the drivers jump the clock between wakeups,
+//! - [`ClockMode`], the process-wide dense/event switch used by
+//!   `--det-check=event-vs-dense`,
 //! - [`SimRng`], a small, seedable PRNG so every run is reproducible from a
 //!   single seed,
+//! - [`FxHashMap`]/[`FxHashSet`], fast deterministic hashing for
+//!   simulator-internal maps,
 //! - [`stats`], counters, histograms and running statistics used by the
 //!   benchmark harness and by the tracing layer.
 //!
-//! The simulator is *cycle-resolved*: components such as NoC routers and
-//! per-tile monitors advance once per cycle, while coarser components (host
-//! CPU models, external clients) schedule timed events on an [`EventQueue`].
+//! The simulator is *event-resolved with cycle-exact semantics*: every
+//! component behaves as if ticked each cycle, but the drivers skip cycles
+//! no component scheduled a wakeup for. Dense per-cycle ticking remains
+//! available ([`ClockMode::Dense`]) as the reference behaviour; the two
+//! must be bit-identical.
 
 pub mod clock;
 pub mod event;
+pub mod fxmap;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 
 pub use clock::{Clock, Cycle};
-pub use event::EventQueue;
+pub use event::{EventHandle, EventQueue};
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use rng::SimRng;
+pub use sched::{clock_mode, set_clock_mode, ClockMode, Schedulable, Wakeup};
 pub use stats::{Counter, Histogram, RunningStats};

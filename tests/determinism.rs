@@ -27,7 +27,7 @@ fn fingerprint(seed: u64) -> Vec<u64> {
                 let _ = noc.try_inject(NodeId(src), m);
             }
         }
-        noc.tick();
+        noc.step();
         for n in 0..16u16 {
             while let Some(d) = noc.poll_eject(NodeId(n)) {
                 fp.push(d.msg.tag);
