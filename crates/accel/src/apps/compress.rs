@@ -6,11 +6,14 @@
 //! neighbours are — the composition happens entirely through capabilities,
 //! which is the paper's composability argument.
 
-use crate::accelerator::{ServerAccel, Service, ServiceAction, ServiceReply};
+use crate::accelerator::{ServerAccel, Service, ServiceAction, ServiceReply, StateError};
 use crate::codec::lz;
 use crate::os::TileOs;
 use apiary_monitor::wire;
 use apiary_noc::{Delivered, TrafficClass};
+
+/// Exact size of a [`CompressorService`] snapshot.
+const COMPRESS_SNAP_LEN: usize = 1 + 8 + 8 + 8;
 
 /// Operating direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +101,36 @@ impl Service for CompressorService {
                 cost_cycles: cost,
             })
         }
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        // Fixed-width little-endian fields — byte-stable across runs.
+        let mut s = Vec::with_capacity(COMPRESS_SNAP_LEN);
+        s.push(match self.mode {
+            Mode::Compress => 0,
+            Mode::Decompress => 1,
+        });
+        s.extend_from_slice(&self.blocks.to_le_bytes());
+        s.extend_from_slice(&self.bytes_in.to_le_bytes());
+        s.extend_from_slice(&self.bytes_out.to_le_bytes());
+        Some(s)
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), StateError> {
+        if state.len() != COMPRESS_SNAP_LEN {
+            return Err(StateError::Corrupt);
+        }
+        let mode = match state[0] {
+            0 => Mode::Compress,
+            1 => Mode::Decompress,
+            _ => return Err(StateError::Corrupt),
+        };
+        let u64le = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("sliced to 8"));
+        self.mode = mode;
+        self.blocks = u64le(&state[1..9]);
+        self.bytes_in = u64le(&state[9..17]);
+        self.bytes_out = u64le(&state[17..25]);
+        Ok(())
     }
 }
 

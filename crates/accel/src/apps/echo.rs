@@ -32,8 +32,13 @@ impl Service for EchoService {
         Some(Vec::new())
     }
 
-    fn restore(&mut self, _state: &[u8]) -> Result<(), crate::accelerator::StateError> {
-        Ok(())
+    fn restore(&mut self, state: &[u8]) -> Result<(), crate::accelerator::StateError> {
+        // The snapshot is empty; anything else is not an echo snapshot.
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::accelerator::StateError::Corrupt)
+        }
     }
 }
 

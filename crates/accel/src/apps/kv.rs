@@ -156,6 +156,17 @@ impl KvStoreService {
     pub fn tenant_len(&self, badge: u64) -> usize {
         self.map.range((badge, vec![])..(badge + 1, vec![])).count()
     }
+
+    /// Admin insert bypassing the wire protocol (preloading experiments
+    /// and tests with a known population).
+    pub fn insert(&mut self, badge: u64, key: &[u8], value: &[u8]) {
+        self.map.insert((badge, key.to_vec()), value.to_vec());
+    }
+
+    /// Admin read bypassing the wire protocol (retention audits).
+    pub fn get(&self, badge: u64, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(&(badge, key.to_vec())).map(|v| v.as_slice())
+    }
 }
 
 impl Service for KvStoreService {
@@ -202,7 +213,10 @@ impl Service for KvStoreService {
     }
 
     /// Externalizes the whole store: `[count: u64]` then per entry
-    /// `[badge: u64][klen: u32][key][vlen: u32][value]`.
+    /// `[badge: u64][klen: u32][key][vlen: u32][value]`, then the
+    /// configuration and counters `[base_cost: u64][gets][puts][dels]`.
+    /// BTreeMap iteration is sorted, so identical stores always produce
+    /// identical bytes.
     fn save(&self) -> Option<Vec<u8>> {
         let mut out = Vec::new();
         out.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
@@ -213,6 +227,10 @@ impl Service for KvStoreService {
             out.extend_from_slice(&(value.len() as u32).to_le_bytes());
             out.extend_from_slice(value);
         }
+        out.extend_from_slice(&self.base_cost.to_le_bytes());
+        out.extend_from_slice(&self.ops.0.to_le_bytes());
+        out.extend_from_slice(&self.ops.1.to_le_bytes());
+        out.extend_from_slice(&self.ops.2.to_le_bytes());
         Some(out)
     }
 
@@ -236,10 +254,16 @@ impl Service for KvStoreService {
             let value = take(&mut b, vlen)?.to_vec();
             map.insert((badge, key), value);
         }
+        let base_cost = u64::from_le_bytes(take(&mut b, 8)?.try_into().expect("sized"));
+        let gets = u64::from_le_bytes(take(&mut b, 8)?.try_into().expect("sized"));
+        let puts = u64::from_le_bytes(take(&mut b, 8)?.try_into().expect("sized"));
+        let dels = u64::from_le_bytes(take(&mut b, 8)?.try_into().expect("sized"));
         if !b.is_empty() {
             return Err(StateError::Corrupt);
         }
         self.map = map;
+        self.base_cost = base_cost;
+        self.ops = (gets, puts, dels);
         Ok(())
     }
 }

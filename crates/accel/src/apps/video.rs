@@ -7,11 +7,14 @@
 //! tagging it with the original request tag so the pipeline's egress can
 //! correlate.
 
-use crate::accelerator::{ServerAccel, Service, ServiceAction, ServiceReply};
+use crate::accelerator::{ServerAccel, Service, ServiceAction, ServiceReply, StateError};
 use crate::codec::video::{self, Frame};
 use crate::os::TileOs;
 use apiary_monitor::wire;
 use apiary_noc::{Delivered, TrafficClass};
+
+/// Exact size of a [`VideoEncoderService`] snapshot.
+const VIDEO_SNAP_LEN: usize = 4 + 8 + 8 + 8;
 
 /// Encodes a frame request payload.
 pub fn encode_request(frame: &Frame) -> Vec<u8> {
@@ -95,6 +98,30 @@ impl Service for VideoEncoderService {
                 cost_cycles: cost,
             })
         }
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        // Fixed-width little-endian fields: deterministic by construction
+        // (no maps, no iteration order), so checkpoints are byte-stable.
+        let mut s = Vec::with_capacity(VIDEO_SNAP_LEN);
+        s.extend_from_slice(&self.quant_shift.to_le_bytes());
+        s.extend_from_slice(&self.frames.to_le_bytes());
+        s.extend_from_slice(&self.bytes_in.to_le_bytes());
+        s.extend_from_slice(&self.bytes_out.to_le_bytes());
+        Some(s)
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), StateError> {
+        if state.len() != VIDEO_SNAP_LEN {
+            return Err(StateError::Corrupt);
+        }
+        let u32le = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("sliced to 4"));
+        let u64le = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("sliced to 8"));
+        self.quant_shift = u32le(&state[0..4]);
+        self.frames = u64le(&state[4..12]);
+        self.bytes_in = u64le(&state[12..20]);
+        self.bytes_out = u64le(&state[20..28]);
+        Ok(())
     }
 }
 

@@ -1,8 +1,16 @@
 //! Property-based tests for the accelerator library.
 
+use apiary_accel::apps::compress::{CompressorService, Mode};
+use apiary_accel::apps::echo::EchoService;
+use apiary_accel::apps::faulty::FaultyService;
+use apiary_accel::apps::hash::HashService;
 use apiary_accel::apps::kv::{self, KvStoreService};
+use apiary_accel::apps::multi::MultiService;
+use apiary_accel::apps::vector::VectorService;
+use apiary_accel::apps::video::VideoEncoderService;
 use apiary_accel::codec::{lz, video};
-use apiary_accel::{Service, ServiceAction};
+use apiary_accel::os::test_os::MockOs;
+use apiary_accel::{Accelerator, Service, ServiceAction, StateError, TileOs};
 use apiary_monitor::wire;
 use apiary_noc::{Delivered, Message, NodeId, TrafficClass};
 use apiary_sim::Cycle;
@@ -140,5 +148,189 @@ proptest! {
     #[test]
     fn video_decode_total(data in prop::collection::vec(any::<u8>(), 0..512)) {
         let _ = video::decode(&data);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-plane audit: every preemptible service must (a) serialize
+// deterministically — save → restore → save is byte-identical, (b) reject
+// structurally corrupt snapshots with `StateError::Corrupt`, (c) never
+// panic on arbitrary corruption, and (d) never half-restore: a rejected
+// snapshot leaves the victim's state exactly as it was.
+
+/// Runs the four checkpoint-plane properties against one service type.
+/// `prime` drives the instance into an arbitrary state; it is applied
+/// identically to every instance so their snapshots must agree.
+fn check_state_plane<S: Service>(
+    fresh: impl Fn() -> S,
+    prime: impl Fn(&mut S),
+    cut: usize,
+    flip: (usize, u8),
+) -> Result<(), TestCaseError> {
+    let mut svc = fresh();
+    prime(&mut svc);
+    let snap = svc.save().expect("service advertises preemption");
+
+    // (a) Deterministic round-trip.
+    let mut twin = fresh();
+    if let Err(e) = twin.restore(&snap) {
+        return Err(TestCaseError::fail(format!("own snapshot rejected: {e:?}")));
+    }
+    prop_assert_eq!(twin.save().expect("still preemptible"), snap.clone());
+
+    // (b) Truncation and trailing garbage are always structural errors.
+    let mut rejected: Vec<Vec<u8>> = Vec::new();
+    if !snap.is_empty() {
+        rejected.push(snap[..cut % snap.len()].to_vec());
+    }
+    let mut trailing = snap.clone();
+    trailing.push(0xA5);
+    rejected.push(trailing);
+    for bad in rejected {
+        let mut victim = fresh();
+        prime(&mut victim);
+        prop_assert_eq!(victim.restore(&bad), Err(StateError::Corrupt));
+        // (d) The rejected restore changed nothing.
+        prop_assert_eq!(victim.save().expect("still preemptible"), snap.clone());
+    }
+
+    // (c) A flipped byte must never panic. It may restore Ok (plain
+    // counters have no redundancy — integrity is the checkpoint layer's
+    // checksum), but on Err the victim must again be untouched.
+    if !snap.is_empty() {
+        let mut flipped = snap.clone();
+        flipped[flip.0 % snap.len()] ^= flip.1 | 1; // never a no-op flip
+        let mut victim = fresh();
+        prime(&mut victim);
+        if victim.restore(&flipped).is_err() {
+            prop_assert_eq!(victim.save().expect("still preemptible"), snap);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Checkpoint-plane properties for the KV store (variable-length,
+    /// multi-tenant snapshot format).
+    #[test]
+    fn kv_state_plane(
+        entries in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(any::<u8>(), 1..12),
+             prop::collection::vec(any::<u8>(), 0..24)),
+            0..24,
+        ),
+        cut in any::<usize>(),
+        flip in (any::<usize>(), any::<u8>()),
+    ) {
+        check_state_plane(
+            KvStoreService::new,
+            |svc| {
+                let mut os = MockOs::new();
+                for (badge, k, v) in &entries {
+                    let _ = svc.serve(&deliver(*badge, kv::put_req(k, v)), &mut os);
+                }
+            },
+            cut,
+            flip,
+        )?;
+    }
+
+    /// Checkpoint-plane properties for every fixed-size-state service:
+    /// echo, hash, vector, faulty, compressor (both modes), video.
+    #[test]
+    fn counter_services_state_plane(
+        inputs in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(any::<u8>(), 0..64)),
+            0..12,
+        ),
+        cost in 0u64..100,
+        fault_after in 1u64..8,
+        quant in 0u32..4,
+        cut in any::<usize>(),
+        flip in (any::<usize>(), any::<u8>()),
+    ) {
+        macro_rules! plane {
+            ($fresh:expr) => {
+                check_state_plane(
+                    $fresh,
+                    |svc| {
+                        let mut os = MockOs::new();
+                        for (badge, payload) in &inputs {
+                            let _ = svc.serve(&deliver(*badge, payload.clone()), &mut os);
+                        }
+                    },
+                    cut,
+                    flip,
+                )?
+            };
+        }
+        plane!(|| EchoService { cost_cycles: cost });
+        plane!(HashService::default);
+        plane!(VectorService::default);
+        plane!(|| FaultyService::new(fault_after));
+        plane!(|| CompressorService::new(Mode::Compress));
+        plane!(|| CompressorService::new(Mode::Decompress));
+        plane!(|| VideoEncoderService::new(quant));
+    }
+
+    /// The multi-context wrapper externalizes *every* context; the same
+    /// four properties hold at the whole-tile (`Accelerator`) level.
+    #[test]
+    fn multi_context_state_plane(
+        entries in prop::collection::vec(
+            (0u64..6, prop::collection::vec(any::<u8>(), 1..8),
+             prop::collection::vec(any::<u8>(), 0..16)),
+            0..16,
+        ),
+        cut in any::<usize>(),
+        flip in (any::<usize>(), any::<u8>()),
+    ) {
+        let fresh = || MultiService::new(KvStoreService::new);
+        let prime = |m: &mut MultiService<KvStoreService>| {
+            let mut os = MockOs::new();
+            for (badge, k, v) in &entries {
+                os.deliver(deliver(*badge, kv::put_req(k, v)));
+            }
+            // Drain the inbox and every in-flight job so the snapshot is
+            // a function of `entries` alone.
+            for _ in 0..2048 {
+                m.wake(os.now(), &mut os);
+                os.advance(1);
+            }
+        };
+
+        let mut a = fresh();
+        prime(&mut a);
+        let snap = a.save_state().expect("multi-context is preemptible");
+
+        let mut twin = fresh();
+        twin.restore_state(&snap).expect("own snapshot restores");
+        prop_assert_eq!(twin.save_state().expect("still preemptible"), snap.clone());
+
+        let mut rejected: Vec<Vec<u8>> = Vec::new();
+        if !snap.is_empty() {
+            rejected.push(snap[..cut % snap.len()].to_vec());
+        }
+        let mut trailing = snap.clone();
+        trailing.push(0xA5);
+        rejected.push(trailing);
+        for bad in rejected {
+            let mut victim = fresh();
+            prime(&mut victim);
+            prop_assert_eq!(victim.restore_state(&bad), Err(StateError::Corrupt));
+            prop_assert_eq!(victim.save_state().expect("still preemptible"), snap.clone());
+        }
+
+        if !snap.is_empty() {
+            let mut flipped = snap.clone();
+            flipped[flip.0 % snap.len()] ^= 0x01;
+            let mut victim = fresh();
+            prime(&mut victim);
+            if victim.restore_state(&flipped).is_err() {
+                prop_assert_eq!(victim.save_state().expect("still preemptible"), snap);
+            }
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! complete sweeps) on a scoped thread pool and writes the perf baseline.
 //!
 //! - `--jobs N` sets the worker count (default: available cores). Output is
-//!   byte-identical for any N: reports print in E1..E17 order and only
+//!   byte-identical for any N: reports print in E1..E19 order and only
 //!   `wall_ms` varies run to run.
 //! - `--det-check` runs the suite a second time on a single worker and
 //!   fails (exit 1) unless every report's deterministic portion is

@@ -1,0 +1,13 @@
+//! Regenerates experiment e19_checkpoint (see DESIGN.md §3). Pass
+//! `--quick` for a scaled-down run. Writes the structured result to
+//! `results/e19_checkpoint.json` (the parent directory is created;
+//! a failed write exits non-zero).
+
+use apiary_bench::{harness, results};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = harness::run_one(apiary_bench::experiments::e19_checkpoint::report, quick);
+    print!("{}", r.rendered);
+    results::write_result_or_exit(harness::result_file(r.id), &r.to_json());
+}

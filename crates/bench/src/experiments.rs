@@ -17,3 +17,4 @@ pub mod e14_reconfig_churn;
 pub mod e15_memory_service;
 pub mod e16_chaos;
 pub mod e17_cluster_scaleout;
+pub mod e19_checkpoint;

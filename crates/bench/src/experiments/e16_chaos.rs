@@ -106,6 +106,7 @@ pub fn run_one(seed: u64, fault_rate: f64, recovery: bool, duration: u64) -> Run
             max_restarts: 2,
             restart_backoff: 128,
             spare_nodes: SPARES.to_vec(),
+            checkpoint_interval: 0,
         },
         ..SystemConfig::default()
     });

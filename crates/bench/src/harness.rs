@@ -1,10 +1,10 @@
-//! The suite harness: runs E1..E17 on a scoped thread pool.
+//! The suite harness: runs E1..E19 on a scoped thread pool.
 //!
 //! Every experiment owns its own seeded `SimRng`, so experiments are
 //! independent and can run concurrently. Determinism contract: for any
 //! `jobs` value the per-experiment [`ExperimentReport`]s are byte-identical
 //! (rendered text, metrics, sim_cycles) — only `wall_ms` varies. Results
-//! are always returned (and printed) in E1..E17 order regardless of which
+//! are always returned (and printed) in E1..E19 order regardless of which
 //! worker finished first.
 
 use crate::experiments as e;
@@ -35,6 +35,7 @@ pub const SUITE: &[ExperimentFn] = &[
     e::e15_memory_service::report,
     e::e16_chaos::report,
     e::e17_cluster_scaleout::report,
+    e::e19_checkpoint::report,
 ];
 
 /// Default worker count: the machine's available cores.
@@ -65,6 +66,7 @@ pub fn result_file(id: &str) -> String {
         "E15" => "e15_memory_service",
         "E16" => "e16_chaos",
         "E17" => "e17_cluster_scaleout",
+        "E19" => "e19_checkpoint",
         other => return format!("results/{}.json", other.to_ascii_lowercase()),
     };
     format!("results/{slug}.json")

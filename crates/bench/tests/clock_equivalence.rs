@@ -144,3 +144,55 @@ fn cluster_cell_clocks_agree() {
     set_clock_mode(ClockMode::Event);
     assert_eq!(event, dense, "cluster cell diverged between clocks");
 }
+
+/// A live migration (quiesce deadline, fabric snapshot transfer, ICAP
+/// restore, republish) lands on identical cycles under both clocks.
+#[test]
+fn live_migration_clocks_agree() {
+    use apiary_accel::apps::kv::{kv_store, KvStoreAccel};
+    use apiary_cap::ServiceId;
+    use apiary_cluster::{ClusterConfig, ClusterSystem};
+
+    let _guard = CLOCK.lock().unwrap();
+    let run = |mode| {
+        set_clock_mode(mode);
+        let mut c = ClusterSystem::new(ClusterConfig {
+            boards: 2,
+            ..ClusterConfig::default()
+        });
+        c.deploy_replica(
+            0,
+            "kv",
+            ServiceId(40),
+            NodeId(5),
+            AppId(1),
+            FaultPolicy::FailStop,
+            4096,
+            Box::new(|| Box::new(kv_store())),
+        )
+        .expect("deploy kv");
+        let accel = c
+            .board_mut(0)
+            .accel_as_mut::<KvStoreAccel>(NodeId(5))
+            .expect("installed");
+        for i in 0..80u32 {
+            let key = i.to_le_bytes();
+            accel.service_mut().insert(7, &key, &[0xAB; 32]);
+        }
+        c.tick_n(2_000);
+        c.migrate_replica("kv", 0, 1, NodeId(5), Box::new(|| Box::new(kv_store())))
+            .expect("migration starts");
+        c.tick_n(30_000);
+        format!(
+            "{:?} kv_len={}",
+            c.migration_outcomes(),
+            c.board(1)
+                .accel_as::<KvStoreAccel>(NodeId(5))
+                .map_or(0, |a| a.service().len())
+        )
+    };
+    let event = run(ClockMode::Event);
+    let dense = run(ClockMode::Dense);
+    set_clock_mode(ClockMode::Event);
+    assert_eq!(event, dense, "migration diverged between clocks");
+}

@@ -33,7 +33,7 @@ use apiary_accel::apps::idle::idle;
 use apiary_cap::{CapKind, CapRef, Capability, Rights, ServiceId};
 use apiary_core::process::OS_APP;
 use apiary_core::supervisor::AccelFactory;
-use apiary_core::{AppId, FaultPolicy, System, SystemConfig, SystemError};
+use apiary_core::{AppId, FaultPolicy, Snapshot, System, SystemConfig, SystemError};
 use apiary_monitor::wire::{KIND_ERROR, KIND_REQUEST};
 use apiary_net::{BreakerConfig, BreakerState, RequestGen, RetryPolicy, Workload};
 use apiary_noc::{NodeId, TrafficClass};
@@ -69,6 +69,15 @@ pub struct ClusterConfig {
     pub request_timeout: u64,
     /// Seed for the balancer's RNG.
     pub seed: u64,
+    /// Cycles a live migration quiesces at the source before the state
+    /// snapshot is taken. The withdrawn directory entry steers new work
+    /// away as the tombstone gossips; the window lets in-flight
+    /// invocations drain while the replica is still serving.
+    pub migration_quiesce: u64,
+    /// Push each service's newest checkpoint to a peer board every gossip
+    /// round, so a board kill can recover warm elsewhere
+    /// ([`ClusterSystem::recover_replica`]).
+    pub replicate_checkpoints: bool,
 }
 
 impl Default for ClusterConfig {
@@ -82,6 +91,8 @@ impl Default for ClusterConfig {
             lease: 6_000,
             request_timeout: 4_000,
             seed: 0xC105_7E12,
+            migration_quiesce: 600,
+            replicate_checkpoints: false,
         }
     }
 }
@@ -115,6 +126,7 @@ struct ReplicaMeta {
     node: NodeId,
     app: AppId,
     policy: FaultPolicy,
+    bitstream_bytes: u64,
 }
 
 struct Republish {
@@ -131,6 +143,68 @@ struct Pending {
     origin: u16,
     target: (u16, NodeId),
     deadline: Cycle,
+}
+
+/// Phase of an in-flight live migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MigPhase {
+    /// Source entry withdrawn; draining until the snapshot cycle.
+    Quiesce { until: Cycle },
+    /// Snapshot serialized onto the fabric; source already decommissioned.
+    Transfer,
+    /// Destination loading bitstream + state through the ICAP, awaiting
+    /// republish.
+    Restore,
+}
+
+/// One live migration in flight.
+struct Migration {
+    name: String,
+    service: ServiceId,
+    src: u16,
+    dst: u16,
+    dst_node: NodeId,
+    app: AppId,
+    policy: FaultPolicy,
+    bitstream_bytes: u64,
+    /// Consumed at restore; the same factory then seeds the destination
+    /// supervisor's spec for future cold restarts.
+    factory: Option<AccelFactory>,
+    started_at: Cycle,
+    snapshot_at: Cycle,
+    state_bytes: u64,
+    warm: bool,
+    phase: MigPhase,
+}
+
+/// A completed live migration, with its measured phase boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationOutcome {
+    /// Migrated service name.
+    pub name: String,
+    /// Its registry id.
+    pub service: ServiceId,
+    /// Source board.
+    pub src: u16,
+    /// Destination board.
+    pub dst: u16,
+    /// Serialized architectural state moved, bytes.
+    pub state_bytes: u64,
+    /// Cycle the migration was requested (source entry withdrawn).
+    pub started_at: Cycle,
+    /// Cycle the source stopped serving (snapshot taken, tile freed).
+    pub snapshot_at: Cycle,
+    /// Cycle the destination replica was republished and answering.
+    pub restored_at: Cycle,
+    /// `true` if the destination restored the snapshot (vs cold fallback).
+    pub warm: bool,
+}
+
+impl MigrationOutcome {
+    /// Cycles with no live replica: source down → destination republished.
+    pub fn blackout(&self) -> u64 {
+        self.restored_at - self.snapshot_at
+    }
 }
 
 struct Board {
@@ -182,6 +256,17 @@ pub struct ClusterSystem {
     pub refused: u64,
     /// Remote capabilities revoked on lease expiry.
     pub caps_revoked: u64,
+    /// Live migrations aborted (board died, service could not snapshot,
+    /// or the destination refused the restore).
+    pub migrations_failed: u64,
+    /// Checkpoints adopted from a peer via fabric replication.
+    pub checkpoints_replicated: u64,
+    /// In-flight migrations, by service id.
+    migrations: BTreeMap<u32, Migration>,
+    /// Completed migrations, in completion order.
+    migrations_done: Vec<MigrationOutcome>,
+    /// Highest checkpoint sequence replicated, per (home board, service).
+    replicated_seq: BTreeMap<(u16, u32), u64>,
 }
 
 impl ClusterSystem {
@@ -226,6 +311,11 @@ impl ClusterSystem {
             remote_submitted: 0,
             refused: 0,
             caps_revoked: 0,
+            migrations_failed: 0,
+            checkpoints_replicated: 0,
+            migrations: BTreeMap::new(),
+            migrations_done: Vec::new(),
+            replicated_seq: BTreeMap::new(),
         }
     }
 
@@ -267,6 +357,16 @@ impl ClusterSystem {
     /// Remote capabilities currently held at a board's gateway.
     pub fn remote_cap_count(&self, b: u16) -> usize {
         self.boards[b as usize].remote_caps.len()
+    }
+
+    /// Completed live migrations, in completion order.
+    pub fn migration_outcomes(&self) -> &[MigrationOutcome] {
+        &self.migrations_done
+    }
+
+    /// Live migrations currently in flight.
+    pub fn migrations_in_flight(&self) -> usize {
+        self.migrations.len()
     }
 
     /// Count of `Remote` trace events recorded at a board's gateway.
@@ -313,6 +413,7 @@ impl ClusterSystem {
                 node,
                 app,
                 policy,
+                bitstream_bytes,
             },
         );
         Ok(b.dir.publish(now, name, service, node))
@@ -347,6 +448,182 @@ impl ClusterSystem {
             meta,
         });
         Ok(())
+    }
+
+    /// Starts a live migration of the named replica from `src` to a free
+    /// tile on `dst`: **withdraw → quiesce → snapshot → transfer → restore
+    /// → republish**. The source keeps serving through the quiesce window
+    /// (new work is steered away as the withdrawal tombstone gossips),
+    /// then stops at the snapshot cycle; the blackout ends when the
+    /// destination replica is republished. Client capabilities survive the
+    /// move: naming is late-bound, so the same service name simply
+    /// resolves to the new home — no client re-attach.
+    pub fn migrate_replica(
+        &mut self,
+        name: &str,
+        src: u16,
+        dst: u16,
+        dst_node: NodeId,
+        factory: AccelFactory,
+    ) -> Result<(), SystemError> {
+        let now = self.now();
+        let bad = || SystemError::BadNode(NodeId(u16::MAX));
+        if src == dst || !self.boards[src as usize].alive || !self.boards[dst as usize].alive {
+            return Err(bad());
+        }
+        let meta = self.boards[src as usize]
+            .replicas
+            .get(name)
+            .cloned()
+            .ok_or_else(bad)?;
+        if self.migrations.contains_key(&meta.service.0) {
+            return Err(bad());
+        }
+        self.boards[src as usize].dir.withdraw(now, name);
+        let gw = self.cfg.gateway;
+        self.boards[src as usize]
+            .sys
+            .tile_mut(gw)
+            .monitor
+            .tracer_mut()
+            .record(
+                now,
+                gw.0,
+                EventKind::Remote {
+                    phase: "migrate-quiesce",
+                    board: dst,
+                    tag: meta.service.0 as u64,
+                },
+            );
+        self.migrations.insert(
+            meta.service.0,
+            Migration {
+                name: name.to_string(),
+                service: meta.service,
+                src,
+                dst,
+                dst_node,
+                app: meta.app,
+                policy: meta.policy,
+                bitstream_bytes: meta.bitstream_bytes,
+                factory: Some(factory),
+                started_at: now,
+                snapshot_at: now,
+                state_bytes: 0,
+                warm: false,
+                phase: MigPhase::Quiesce {
+                    until: now + self.cfg.migration_quiesce,
+                },
+            },
+        );
+        Ok(())
+    }
+
+    /// Redeploys a replica on `board` from a checkpoint previously adopted
+    /// over the fabric ([`ClusterConfig::replicate_checkpoints`]): warm if
+    /// a verified snapshot of `service` is held, cold (factory-fresh)
+    /// otherwise. The restore is priced through the ICAP like any
+    /// reconfiguration — bitstream plus restored state. Returns whether
+    /// the recovery was warm.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_replica(
+        &mut self,
+        board: u16,
+        name: &str,
+        service: ServiceId,
+        node: NodeId,
+        app: AppId,
+        policy: FaultPolicy,
+        bitstream_bytes: u64,
+        factory: AccelFactory,
+    ) -> Result<bool, SystemError> {
+        let b = &mut self.boards[board as usize];
+        let state = b
+            .sys
+            .checkpoint_store_mut()
+            .latest(service.0)
+            .map(|s| s.state.clone());
+        let mut accel = factory();
+        let mut warm_bytes = 0u64;
+        let warm = match state {
+            Some(s) if accel.restore_state(&s).is_ok() => {
+                warm_bytes = s.len() as u64;
+                true
+            }
+            _ => false,
+        };
+        if !warm {
+            // Never deploy a half-restored instance: rebuild fresh.
+            accel = factory();
+        }
+        b.sys
+            .reconfigure(node, accel, app, policy, bitstream_bytes + warm_bytes)?;
+        if warm {
+            b.sys.checkpoint_store_mut().warm_restores += 1;
+        }
+        b.sys
+            .adopt_service(service, node, app, policy, bitstream_bytes, factory);
+        let meta = ReplicaMeta {
+            service,
+            node,
+            app,
+            policy,
+            bitstream_bytes,
+        };
+        b.replicas.insert(name.to_string(), meta.clone());
+        b.republish.push(Republish {
+            name: name.to_string(),
+            meta,
+        });
+        Ok(warm)
+    }
+
+    /// Quiesce elapsed: capture the source replica's state and put it on
+    /// the fabric (transfer time scales with state size through the link's
+    /// serialization model). Aborts — republishing the source binding — if
+    /// the service cannot snapshot right now (mid-reconfiguration or not
+    /// preemptible).
+    fn drive_migration_snapshot(&mut self, sid: u32, now: Cycle) {
+        let gw = self.cfg.gateway;
+        let m = self.migrations.get_mut(&sid).expect("listed by caller");
+        let b = &mut self.boards[m.src as usize];
+        let home = b.sys.service_home(m.service);
+        let state = home
+            .and_then(|n| b.sys.tile_mut(n).accel.as_mut())
+            .and_then(|a| a.save_state());
+        let Some(state) = state else {
+            if let Some(n) = home {
+                let _ = b.dir.publish(now, &m.name, m.service, n);
+            }
+            self.migrations.remove(&sid);
+            self.migrations_failed += 1;
+            return;
+        };
+        b.sys.tile_mut(gw).monitor.tracer_mut().record(
+            now,
+            gw.0,
+            EventKind::Remote {
+                phase: "migrate-xfer",
+                board: m.dst,
+                tag: sid as u64,
+            },
+        );
+        m.snapshot_at = now;
+        m.state_bytes = state.len() as u64;
+        m.phase = MigPhase::Transfer;
+        b.sys.undeploy_service(m.service);
+        b.local_caps.remove(&sid);
+        b.replicas.remove(&m.name);
+        let msg = ClusterMsg {
+            src: m.src,
+            dst: m.dst,
+            body: Body::Migrate {
+                service: sid,
+                name: m.name.clone(),
+                snapshot: state,
+            },
+        };
+        self.fabric.send(&msg);
     }
 
     /// Kills a board: it stops ticking, its fabric links go down, its
@@ -512,11 +789,13 @@ impl ClusterSystem {
     }
 
     /// Request traffic drained: nothing pending at the cluster level, no
-    /// forwarded work awaiting a local reply, every live board idle.
-    /// Gossip deliberately does not count — it is a periodic background
-    /// heartbeat and never "drains".
+    /// forwarded work awaiting a local reply, no live migration mid-flight
+    /// (its snapshot may be on the wire or restoring while both boards look
+    /// idle), every live board idle. Gossip deliberately does not count —
+    /// it is a periodic background heartbeat and never "drains".
     pub fn quiescent(&self) -> bool {
         self.pending.is_empty()
+            && self.migrations.is_empty()
             && self
                 .boards
                 .iter()
@@ -554,6 +833,38 @@ impl ClusterSystem {
             }
         }
 
+        // 1b. Live migrations whose quiesce window elapsed take their
+        //     snapshot: the source stops serving (tile decommissioned,
+        //     spec and checkpoint dropped) and the state goes out over the
+        //     fabric. Migrations whose source or destination died abort.
+        if !self.migrations.is_empty() {
+            let due: Vec<u32> = self
+                .migrations
+                .iter()
+                .filter(|(_, m)| {
+                    matches!(m.phase, MigPhase::Quiesce { until } if until <= now)
+                        && self.boards[m.src as usize].alive
+                        && self.boards[m.dst as usize].alive
+                })
+                .map(|(&s, _)| s)
+                .collect();
+            for sid in due {
+                self.drive_migration_snapshot(sid, now);
+            }
+            let dead: Vec<u32> = self
+                .migrations
+                .iter()
+                .filter(|(_, m)| {
+                    !self.boards[m.src as usize].alive || !self.boards[m.dst as usize].alive
+                })
+                .map(|(&s, _)| s)
+                .collect();
+            for sid in dead {
+                self.migrations.remove(&sid);
+                self.migrations_failed += 1;
+            }
+        }
+
         // 2. Completed reconfigurations republish their directory entry.
         for bi in 0..self.boards.len() {
             if !self.boards[bi].alive {
@@ -577,6 +888,62 @@ impl ClusterSystem {
                 }
                 let _ = b.dir.publish(now, &r.name, r.meta.service, r.meta.node);
             }
+        }
+
+        // 2b. Migrations finalize once the destination republished: the
+        //     blackout window closes, and every live board's stale remote
+        //     cap against the old home is proactively revoked (a fresh cap
+        //     is minted against the new home on the next submit — clients
+        //     never see a cap change, naming is late-bound).
+        let finished: Vec<u32> = self
+            .migrations
+            .iter()
+            .filter(|(_, m)| {
+                m.phase == MigPhase::Restore
+                    && self.boards[m.dst as usize]
+                        .dir
+                        .lookup_local(now, &m.name)
+                        .is_some_and(|e| e.node == m.dst_node)
+            })
+            .map(|(&s, _)| s)
+            .collect();
+        for sid in finished {
+            let m = self.migrations.remove(&sid).expect("listed above");
+            self.boards[m.dst as usize]
+                .sys
+                .tile_mut(gw)
+                .monitor
+                .tracer_mut()
+                .record(
+                    now,
+                    gw.0,
+                    EventKind::Remote {
+                        phase: "migrate-done",
+                        board: m.src,
+                        tag: sid as u64,
+                    },
+                );
+            for b in &mut self.boards {
+                if !b.alive {
+                    continue;
+                }
+                if let Some(cap) = b.remote_caps.remove(&(m.src, sid)) {
+                    if b.sys.tile_mut(gw).monitor.revoke_cap(cap).is_ok() {
+                        self.caps_revoked += 1;
+                    }
+                }
+            }
+            self.migrations_done.push(MigrationOutcome {
+                name: m.name,
+                service: m.service,
+                src: m.src,
+                dst: m.dst,
+                state_bytes: m.state_bytes,
+                started_at: m.started_at,
+                snapshot_at: m.snapshot_at,
+                restored_at: now,
+                warm: m.warm,
+            });
         }
 
         // 3. Gossip round: renew leases, sweep expiries (revoking remote
@@ -609,6 +976,58 @@ impl ClusterSystem {
                         dst: partner,
                         body: Body::Gossip { entries: snapshot },
                     });
+                }
+            }
+
+            // Checkpoint replication piggybacks on the gossip cadence:
+            // each board pushes any snapshot whose sequence advanced since
+            // the last round to its ring successor, so a board kill can
+            // recover warm from the peer's adopted copy
+            // ([`ClusterSystem::recover_replica`]).
+            if self.cfg.replicate_checkpoints && n > 1 {
+                for bi in 0..n {
+                    if !self.boards[bi as usize].alive {
+                        continue;
+                    }
+                    let Some(peer) = (1..n)
+                        .map(|d| (bi + d) % n)
+                        .find(|&p| self.boards[p as usize].alive)
+                    else {
+                        continue;
+                    };
+                    let replicas: Vec<(String, u32)> = self.boards[bi as usize]
+                        .replicas
+                        .iter()
+                        .map(|(name, meta)| (name.clone(), meta.service.0))
+                        .collect();
+                    for (name, sid) in replicas {
+                        let Some(snap) = self.boards[bi as usize]
+                            .sys
+                            .checkpoint_store_mut()
+                            .latest(sid)
+                        else {
+                            continue;
+                        };
+                        let seq = snap.seq;
+                        if self
+                            .replicated_seq
+                            .get(&(bi, sid))
+                            .is_some_and(|&sent| sent >= seq)
+                        {
+                            continue;
+                        }
+                        let snapshot = snap.encode();
+                        self.replicated_seq.insert((bi, sid), seq);
+                        self.fabric.send(&ClusterMsg {
+                            src: bi,
+                            dst: peer,
+                            body: Body::Checkpoint {
+                                service: sid,
+                                name,
+                                snapshot,
+                            },
+                        });
+                    }
                 }
             }
         }
@@ -710,6 +1129,85 @@ impl ClusterSystem {
                 Body::Gossip { entries } => {
                     self.boards[msg.dst as usize].dir.merge(&entries);
                 }
+                Body::Migrate {
+                    service,
+                    name: _,
+                    snapshot,
+                } => {
+                    let Some(m) = self.migrations.get_mut(&service) else {
+                        // Migration aborted while the snapshot was in
+                        // flight; the state is lost with it.
+                        continue;
+                    };
+                    let factory = m.factory.take().expect("consumed exactly once");
+                    let mut accel = factory();
+                    m.warm = accel.restore_state(&snapshot).is_ok();
+                    if !m.warm {
+                        // Never install a half-restored instance.
+                        accel = factory();
+                    }
+                    let warm_bytes = if m.warm { snapshot.len() as u64 } else { 0 };
+                    let b = &mut self.boards[msg.dst as usize];
+                    match b.sys.reconfigure(
+                        m.dst_node,
+                        accel,
+                        m.app,
+                        m.policy,
+                        m.bitstream_bytes + warm_bytes,
+                    ) {
+                        Ok(_) => {
+                            b.sys.tile_mut(gw).monitor.tracer_mut().record(
+                                now,
+                                gw.0,
+                                EventKind::Remote {
+                                    phase: "migrate-restore",
+                                    board: msg.src,
+                                    tag: service as u64,
+                                },
+                            );
+                            b.sys.adopt_service(
+                                m.service,
+                                m.dst_node,
+                                m.app,
+                                m.policy,
+                                m.bitstream_bytes,
+                                factory,
+                            );
+                            let meta = ReplicaMeta {
+                                service: m.service,
+                                node: m.dst_node,
+                                app: m.app,
+                                policy: m.policy,
+                                bitstream_bytes: m.bitstream_bytes,
+                            };
+                            b.replicas.insert(m.name.clone(), meta.clone());
+                            b.republish.push(Republish {
+                                name: m.name.clone(),
+                                meta,
+                            });
+                            m.phase = MigPhase::Restore;
+                        }
+                        Err(_) => {
+                            self.migrations.remove(&service);
+                            self.migrations_failed += 1;
+                        }
+                    }
+                }
+                Body::Checkpoint {
+                    service,
+                    name: _,
+                    snapshot,
+                } => {
+                    if let Ok(snap) = Snapshot::decode(&snapshot) {
+                        if self.boards[msg.dst as usize]
+                            .sys
+                            .checkpoint_store_mut()
+                            .adopt(service, snap)
+                        {
+                            self.checkpoints_replicated += 1;
+                        }
+                    }
+                }
             }
         }
 
@@ -781,6 +1279,11 @@ impl ClusterSystem {
         due = due.min(Cycle((self.ticks / g + 1) * g));
         if let Some(d) = self.pending.values().map(|p| p.deadline).min() {
             due = due.min(d.max(next));
+        }
+        for m in self.migrations.values() {
+            if let MigPhase::Quiesce { until } = m.phase {
+                due = due.min(until.max(next));
+            }
         }
         due.max(next)
     }

@@ -128,6 +128,28 @@ pub enum Body {
         /// Full snapshot of the sender's directory.
         entries: Vec<DirEntry>,
     },
+    /// Live-migration state transfer: the source board ships `name`'s
+    /// quiesced snapshot to the destination. Transfer time is whatever the
+    /// link's bandwidth/latency model charges these bytes — blackout
+    /// scales with state size by construction.
+    Migrate {
+        /// Service id the destination should adopt.
+        service: u32,
+        /// Directory name of the replica being moved.
+        name: String,
+        /// Encoded [`apiary_core::Snapshot`] of the service's state.
+        snapshot: Vec<u8>,
+    },
+    /// Checkpoint replication: a board pushes its latest snapshot of a
+    /// replica to a peer so a board kill can recover warm elsewhere.
+    Checkpoint {
+        /// Service id on the owning board.
+        service: u32,
+        /// Directory name of the replica the snapshot belongs to.
+        name: String,
+        /// Encoded [`apiary_core::Snapshot`] (carries its own seq).
+        snapshot: Vec<u8>,
+    },
 }
 
 impl ClusterMsg {
@@ -174,6 +196,28 @@ impl ClusterMsg {
                     out.extend_from_slice(&(name.len() as u16).to_le_bytes());
                     out.extend_from_slice(name);
                 }
+            }
+            Body::Migrate {
+                service,
+                name,
+                snapshot,
+            }
+            | Body::Checkpoint {
+                service,
+                name,
+                snapshot,
+            } => {
+                out.push(if matches!(self.body, Body::Migrate { .. }) {
+                    3
+                } else {
+                    4
+                });
+                out.extend_from_slice(&service.to_le_bytes());
+                let nb = name.as_bytes();
+                out.extend_from_slice(&(nb.len() as u16).to_le_bytes());
+                out.extend_from_slice(nb);
+                out.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
+                out.extend_from_slice(snapshot);
             }
         }
         out
@@ -228,6 +272,26 @@ impl ClusterMsg {
                     });
                 }
                 Body::Gossip { entries }
+            }
+            tag @ (3 | 4) => {
+                let service = r.u32()?;
+                let name_len = r.u16()? as usize;
+                let name = String::from_utf8(r.bytes(name_len)?.to_vec()).ok()?;
+                let len = r.u32()? as usize;
+                let snapshot = r.bytes(len)?.to_vec();
+                if tag == 3 {
+                    Body::Migrate {
+                        service,
+                        name,
+                        snapshot,
+                    }
+                } else {
+                    Body::Checkpoint {
+                        service,
+                        name,
+                        snapshot,
+                    }
+                }
             }
             _ => return None,
         };
@@ -289,7 +353,12 @@ impl Link {
             // only delays (cumulative acks), so they share the loss model
             // through the data wire's retransmissions instead.
             acks: Wire::new(cfg.latency, cfg.bytes_per_cycle),
-            tx: GoBackNSender::new(cfg.arq_window, cfg.arq_timeout),
+            // Size-aware ARQ deadlines: a bulk frame (e.g. a migration
+            // snapshot) can take longer to serialize than the flat timeout;
+            // scaling the deadline with the outstanding bytes prevents a
+            // retransmission storm while the first copy is still on the wire.
+            tx: GoBackNSender::new(cfg.arq_window, cfg.arq_timeout)
+                .with_serialization_rate(cfg.bytes_per_cycle),
             rx: GoBackNReceiver::new(),
             backlog: VecDeque::new(),
             up: true,
@@ -618,10 +687,43 @@ mod tests {
                     }],
                 },
             },
+            ClusterMsg {
+                src: 0,
+                dst: 1,
+                body: Body::Migrate {
+                    service: 12,
+                    name: "kv-a".into(),
+                    snapshot: vec![0xAB; 100],
+                },
+            },
+            ClusterMsg {
+                src: 1,
+                dst: 0,
+                body: Body::Checkpoint {
+                    service: 12,
+                    name: "kv-a".into(),
+                    snapshot: vec![0xCD; 40],
+                },
+            },
         ] {
             assert_eq!(ClusterMsg::decode(&m.encode()), Some(m));
         }
         assert_eq!(ClusterMsg::decode(&[1, 2, 3]), None);
+        // Truncated and trailing-byte migrate frames are rejected.
+        let enc = ClusterMsg {
+            src: 0,
+            dst: 1,
+            body: Body::Migrate {
+                service: 1,
+                name: "x".into(),
+                snapshot: vec![1, 2, 3],
+            },
+        }
+        .encode();
+        assert_eq!(ClusterMsg::decode(&enc[..enc.len() - 1]), None);
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert_eq!(ClusterMsg::decode(&trailing), None);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod fabric;
 pub use balancer::Balancer;
 pub use cluster::{
     drive_clients, run_clients, ClusterClient, ClusterConfig, ClusterSystem, Completion,
-    SubmitError,
+    MigrationOutcome, SubmitError,
 };
 pub use directory::{DirEntry, Directory};
 pub use fabric::{Body, ClusterMsg, Fabric, FabricConfig, LinkConfig, Topology};

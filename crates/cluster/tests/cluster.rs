@@ -268,3 +268,183 @@ fn churn_during_remote_invocation_recovers() {
     }
     assert!(c.quiescent(), "cluster drains after churn");
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore plane: live migration and warm board-kill recovery.
+// ---------------------------------------------------------------------
+
+use apiary_accel::apps::kv::{kv_store, KvStoreAccel};
+
+const TENANT: u64 = 7;
+
+fn deploy_kv(c: &mut ClusterSystem, board: u16) {
+    c.deploy_replica(
+        board,
+        "kv",
+        KV,
+        REPLICA_NODE,
+        AppId(1),
+        FaultPolicy::FailStop,
+        BITSTREAM,
+        Box::new(|| Box::new(kv_store())),
+    )
+    .expect("deploy kv");
+}
+
+fn preload_kv(c: &mut ClusterSystem, board: u16, entries: usize) {
+    let accel = c
+        .board_mut(board)
+        .accel_as_mut::<KvStoreAccel>(REPLICA_NODE)
+        .expect("kv replica installed");
+    for i in 0..entries {
+        let key = format!("key-{i:04}");
+        let val = format!("value-{i:04}-{}", "x".repeat(24));
+        accel
+            .service_mut()
+            .insert(TENANT, key.as_bytes(), val.as_bytes());
+    }
+}
+
+fn kv_retention(c: &ClusterSystem, board: u16, entries: usize) -> usize {
+    let accel = c
+        .board(board)
+        .accel_as::<KvStoreAccel>(REPLICA_NODE)
+        .expect("kv replica installed");
+    (0..entries)
+        .filter(|i| {
+            let key = format!("key-{i:04}");
+            let val = format!("value-{i:04}-{}", "x".repeat(24));
+            accel.service().get(TENANT, key.as_bytes()) == Some(val.as_bytes())
+        })
+        .count()
+}
+
+#[test]
+fn live_migration_moves_state_without_cap_churn() {
+    let mut c = cluster(2);
+    deploy_kv(&mut c, 0);
+    preload_kv(&mut c, 0, 50);
+    c.tick_n(2_000); // gossip spreads the binding
+
+    // A client on board 1 invokes remotely, minting a remote cap for
+    // (board 0, kv).
+    let mut clients = [client(1, 1, 300.0)];
+    run(&mut c, &mut clients, 6_000);
+    let before = clients[0].gen.stats.completed;
+    assert!(before > 0, "traffic flowed pre-migration");
+    assert_eq!(c.remote_cap_count(1), 1);
+
+    c.migrate_replica("kv", 0, 1, REPLICA_NODE, Box::new(|| Box::new(kv_store())))
+        .expect("replica known and both boards alive");
+    run(&mut c, &mut clients, 20_000);
+
+    let outcomes = c.migration_outcomes();
+    assert_eq!(outcomes.len(), 1, "migration completed");
+    let o = &outcomes[0];
+    assert!(o.warm, "state restored from the snapshot");
+    assert!(o.state_bytes > 0);
+    assert!(o.blackout() > 0);
+    assert_eq!((o.src, o.dst), (0, 1));
+    assert_eq!(c.migrations_in_flight(), 0);
+    assert_eq!(c.migrations_failed, 0);
+
+    // Every preloaded entry survived the move.
+    assert_eq!(kv_retention(&c, 1, 50), 50, "full retention across boards");
+    // The stale remote cap was revoked at finalize; traffic resumed
+    // against the new home without the client re-attaching.
+    assert_eq!(c.remote_cap_count(1), 0, "old remote cap revoked");
+    let after = clients[0].gen.stats.completed;
+    assert!(
+        after > before,
+        "service answers post-migration: {before} -> {after}"
+    );
+    // The source board no longer serves the name.
+    assert!(c.board(0).service_home(KV).is_none());
+    assert_eq!(c.board(1).service_home(KV), Some(REPLICA_NODE));
+}
+
+#[test]
+fn migration_blackout_scales_with_state_size() {
+    let blackout = |entries: usize| -> u64 {
+        let mut c = cluster(2);
+        deploy_kv(&mut c, 0);
+        preload_kv(&mut c, 0, entries);
+        c.tick_n(2_000);
+        c.migrate_replica("kv", 0, 1, REPLICA_NODE, Box::new(|| Box::new(kv_store())))
+            .expect("migration starts");
+        c.tick_n(30_000);
+        let outcomes = c.migration_outcomes();
+        assert_eq!(outcomes.len(), 1, "{entries}-entry migration completed");
+        assert!(outcomes[0].warm);
+        outcomes[0].blackout()
+    };
+    let small = blackout(10);
+    let large = blackout(400);
+    assert!(
+        large > small,
+        "blackout grows with state: {small} vs {large}"
+    );
+}
+
+#[test]
+fn replicated_checkpoint_recovers_warm_after_board_kill() {
+    let mut cfg = ClusterConfig {
+        boards: 2,
+        replicate_checkpoints: true,
+        ..ClusterConfig::default()
+    };
+    cfg.system.supervisor.enabled = true;
+    cfg.system.supervisor.checkpoint_interval = 1_000;
+    let mut c = ClusterSystem::new(cfg);
+    deploy_kv(&mut c, 0);
+    preload_kv(&mut c, 0, 40);
+    // Several checkpoint intervals and gossip rounds: the newest snapshot
+    // replicates to board 1.
+    c.tick_n(6_000);
+    assert!(c.checkpoints_replicated > 0, "snapshot reached the peer");
+    assert!(!c.board(1).checkpoint_store().is_empty());
+
+    c.kill_board(0);
+    let warm = c
+        .recover_replica(
+            1,
+            "kv",
+            KV,
+            REPLICA_NODE,
+            AppId(1),
+            FaultPolicy::FailStop,
+            BITSTREAM,
+            Box::new(|| Box::new(kv_store())),
+        )
+        .expect("spare tile on the peer");
+    assert!(warm, "recovery restored the replicated checkpoint");
+    c.tick_n(10_000); // bitstream + state through the ICAP, republish
+
+    assert_eq!(
+        kv_retention(&c, 1, 40),
+        40,
+        "board kill recovered warm elsewhere with full retention"
+    );
+    assert_eq!(c.directory(1).lookup_all(c.now(), "kv").len(), 1);
+    // Without replication the peer holds nothing and recovery is cold.
+    let mut cold = cluster(2);
+    deploy_kv(&mut cold, 0);
+    preload_kv(&mut cold, 0, 40);
+    cold.tick_n(6_000);
+    cold.kill_board(0);
+    let warm = cold
+        .recover_replica(
+            1,
+            "kv",
+            KV,
+            REPLICA_NODE,
+            AppId(1),
+            FaultPolicy::FailStop,
+            BITSTREAM,
+            Box::new(|| Box::new(kv_store())),
+        )
+        .expect("spare tile on the peer");
+    assert!(!warm, "no replicated checkpoint: cold restart");
+    cold.tick_n(10_000);
+    assert_eq!(kv_retention(&cold, 1, 40), 0, "cold restart lost the data");
+}

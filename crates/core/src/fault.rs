@@ -62,6 +62,14 @@ pub fn preemption_downtime(state_bytes: usize) -> u64 {
     64 + (state_bytes as u64).div_ceil(8) * 2
 }
 
+/// Cycles to *save* `state_bytes` of context (half the preemption
+/// round-trip: no restore leg). This is what a periodic checkpoint costs
+/// the running service — the tile stalls while the configuration port
+/// drains its state.
+pub fn checkpoint_downtime(state_bytes: usize) -> u64 {
+    32 + (state_bytes as u64).div_ceil(8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +85,11 @@ mod tests {
         assert!(preemption_downtime(1 << 20) > preemption_downtime(1 << 10));
         // 8 bytes: one beat saved, one restored.
         assert_eq!(preemption_downtime(8), 64 + 2);
+    }
+
+    #[test]
+    fn checkpoint_is_the_save_leg() {
+        assert_eq!(checkpoint_downtime(8), 32 + 1);
+        assert!(checkpoint_downtime(1 << 16) < preemption_downtime(1 << 16));
     }
 }

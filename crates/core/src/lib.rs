@@ -24,6 +24,7 @@
 //! kernel object in this crate corresponds to logic the paper places in the
 //! static region of the FPGA.
 
+pub mod checkpoint;
 pub mod fault;
 pub mod memsvc;
 pub mod process;
@@ -33,6 +34,7 @@ pub mod supervisor;
 pub mod system;
 pub mod tile;
 
+pub use checkpoint::{CheckpointStore, Snapshot};
 pub use fault::FaultPolicy;
 pub use process::AppId;
 pub use supervisor::{AccelFactory, Incident, RecoveryTarget, Supervisor, SupervisorConfig};

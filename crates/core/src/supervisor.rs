@@ -26,12 +26,14 @@
 //! Each incident records detection and recovery cycles; the difference is
 //! the incident's MTTR, the metric experiment E16 sweeps.
 
+use crate::checkpoint::CheckpointStore;
 use crate::fault::FaultPolicy;
 use crate::process::AppId;
 use apiary_accel::Accelerator;
 use apiary_cap::ServiceId;
 use apiary_noc::NodeId;
 use apiary_sim::Cycle;
+use std::collections::VecDeque;
 
 /// Builds a fresh instance of a supervised service's accelerator.
 pub type AccelFactory = Box<dyn Fn() -> Box<dyn Accelerator>>;
@@ -49,6 +51,12 @@ pub struct SupervisorConfig {
     pub restart_backoff: u64,
     /// Nodes kept empty as migration targets.
     pub spare_nodes: Vec<NodeId>,
+    /// Cycles between periodic checkpoints of preemptible services
+    /// (0 disables checkpointing; recovery is then always cold). Each
+    /// checkpoint stalls the service for
+    /// [`crate::fault::checkpoint_downtime`] of its state size, so the
+    /// interval trades recovery staleness against steady-state overhead.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for SupervisorConfig {
@@ -58,6 +66,7 @@ impl Default for SupervisorConfig {
             max_restarts: 2,
             restart_backoff: 256,
             spare_nodes: Vec::new(),
+            checkpoint_interval: 0,
         }
     }
 }
@@ -80,6 +89,13 @@ pub struct ServiceSpec {
     pub clients: Vec<NodeId>,
     /// In-place restarts consumed so far.
     pub restarts_used: u32,
+    /// Cached terminal state: `true` once an incident for this service was
+    /// abandoned, so the per-tick detection scan never walks the incident
+    /// log.
+    pub abandoned: bool,
+    /// Next cycle at which a periodic checkpoint is due. `Cycle::MAX`
+    /// once the service proves non-preemptible (or checkpointing is off).
+    pub next_checkpoint_at: Cycle,
 }
 
 /// Where an incident's recovery is pointed.
@@ -120,6 +136,9 @@ pub struct Incident {
     pub recovered_at: Option<Cycle>,
     /// What the supervisor decided to do.
     pub target: RecoveryTarget,
+    /// `true` if recovery restored a checkpoint (warm) rather than
+    /// deploying factory-fresh (cold).
+    pub warm: bool,
     pub(crate) phase: Phase,
 }
 
@@ -150,8 +169,10 @@ pub struct Supervisor {
     pub(crate) specs: Vec<ServiceSpec>,
     /// All incidents ever opened, in detection order.
     pub(crate) incidents: Vec<Incident>,
-    /// Spares not yet consumed by a migration.
-    pub(crate) free_spares: Vec<NodeId>,
+    /// Spares not yet consumed by a migration (FIFO: O(1) pop_front).
+    pub(crate) free_spares: VecDeque<NodeId>,
+    /// Latest checkpoint per supervised service.
+    pub(crate) checkpoints: CheckpointStore,
 }
 
 impl Supervisor {
@@ -179,6 +200,16 @@ impl Supervisor {
             .iter()
             .position(|i| i.service == service && !i.closed())
     }
+
+    /// The checkpoint store (inspection and replication).
+    pub fn checkpoints(&self) -> &CheckpointStore {
+        &self.checkpoints
+    }
+
+    /// Mutable checkpoint store (fabric replication adopts snapshots).
+    pub fn checkpoints_mut(&mut self) -> &mut CheckpointStore {
+        &mut self.checkpoints
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +233,7 @@ mod tests {
             detected_at: Cycle(100),
             recovered_at: None,
             target: RecoveryTarget::InPlace(NodeId(2)),
+            warm: false,
             phase: Phase::Backoff {
                 restart_at: Cycle(200),
             },

@@ -1,13 +1,16 @@
 //! The machine: NoC + tiles + clock, and the kernel management API.
 
-use crate::fault::{preemption_downtime, FaultAction, FaultPolicy, FaultRecord};
+use crate::checkpoint::CheckpointStore;
+use crate::fault::{
+    checkpoint_downtime, preemption_downtime, FaultAction, FaultPolicy, FaultRecord,
+};
 use crate::memsvc::MemoryService;
 use crate::process::{AppId, OS_APP};
 use crate::reconfig::ReconfigController;
 use crate::supervisor::{
     AccelFactory, Incident, Phase, RecoveryTarget, ServiceSpec, Supervisor, SupervisorConfig,
 };
-use crate::tile::{KernelOs, Tile};
+use crate::tile::{KernelOs, ParkedTenant, Tile};
 use apiary_accel::{Accelerator, CapEnv};
 use apiary_cap::{CapError, CapKind, CapRef, Capability, EndpointId, Rights, ServiceId};
 use apiary_mem::{AllocError, AllocPolicy, DramConfig, SegmentAllocator};
@@ -75,6 +78,8 @@ pub enum SystemError {
     NotPreemptible(NodeId),
     /// The tile is being reconfigured.
     ReconfigInProgress(NodeId),
+    /// Context swap requested on a tile with no parked tenant.
+    NoParkedTenant(NodeId),
 }
 
 impl fmt::Display for SystemError {
@@ -90,6 +95,7 @@ impl fmt::Display for SystemError {
             SystemError::Alloc(e) => write!(f, "allocation: {e}"),
             SystemError::NotPreemptible(n) => write!(f, "tile {n} is not preemptible"),
             SystemError::ReconfigInProgress(n) => write!(f, "tile {n} is reconfiguring"),
+            SystemError::NoParkedTenant(n) => write!(f, "tile {n} has no parked tenant"),
         }
     }
 }
@@ -147,7 +153,7 @@ impl System {
         let mem_capacity = cfg.mem_capacity;
         let dram = cfg.dram;
         let supervisor = Supervisor {
-            free_spares: cfg.supervisor.spare_nodes.clone(),
+            free_spares: cfg.supervisor.spare_nodes.iter().copied().collect(),
             ..Supervisor::default()
         };
         let mut sys = System {
@@ -536,6 +542,7 @@ impl System {
         factory: AccelFactory,
     ) -> Result<(), SystemError> {
         self.install(node, factory(), app, policy)?;
+        let next_checkpoint_at = self.first_checkpoint_due();
         self.supervisor.specs.push(ServiceSpec {
             service,
             node,
@@ -545,8 +552,85 @@ impl System {
             factory,
             clients: Vec::new(),
             restarts_used: 0,
+            abandoned: false,
+            next_checkpoint_at,
         });
         Ok(())
+    }
+
+    /// When a freshly (re)deployed service's first periodic checkpoint is
+    /// due: one interval from now, or never if checkpointing is off.
+    fn first_checkpoint_due(&self) -> Cycle {
+        let interval = self.cfg.supervisor.checkpoint_interval;
+        if interval > 0 {
+            self.clock.now() + interval
+        } else {
+            Cycle::MAX
+        }
+    }
+
+    /// Registers an already-arriving service with the supervisor *without*
+    /// installing anything: the caller is responsible for bringing the
+    /// accelerator up at `node` (the destination half of a cross-board
+    /// migration, where the instance is restored from a transferred
+    /// snapshot and loaded via [`System::reconfigure`]).
+    pub fn adopt_service(
+        &mut self,
+        service: ServiceId,
+        node: NodeId,
+        app: AppId,
+        policy: FaultPolicy,
+        bitstream_bytes: u64,
+        factory: AccelFactory,
+    ) {
+        let next_checkpoint_at = self.first_checkpoint_due();
+        self.supervisor.specs.push(ServiceSpec {
+            service,
+            node,
+            app,
+            policy,
+            bitstream_bytes,
+            factory,
+            clients: Vec::new(),
+            restarts_used: 0,
+            abandoned: false,
+            next_checkpoint_at,
+        });
+    }
+
+    /// Removes a supervised service from this board: drops its spec and
+    /// stored checkpoint, closes any open incident, and decommissions its
+    /// tile so no stale authority survives. The source half of a
+    /// cross-board migration. Returns the node it was removed from.
+    pub fn undeploy_service(&mut self, service: ServiceId) -> Option<NodeId> {
+        let idx = self
+            .supervisor
+            .specs
+            .iter()
+            .position(|s| s.service == service)?;
+        if let Some(ii) = self.supervisor.open_incident(service) {
+            self.supervisor.incidents[ii].phase = Phase::Closed;
+        }
+        let spec = self.supervisor.specs.remove(idx);
+        self.supervisor.checkpoints.remove(service.0);
+        let now = self.clock.now();
+        let tile = &mut self.tiles[spec.node.index()];
+        tile.monitor.reset(now);
+        tile.monitor.fail_stop(now);
+        tile.accel = None;
+        tile.app = None;
+        tile.env = CapEnv::new();
+        Some(spec.node)
+    }
+
+    /// The board's checkpoint store (inspection and replication).
+    pub fn checkpoint_store(&self) -> &CheckpointStore {
+        self.supervisor.checkpoints()
+    }
+
+    /// Mutable checkpoint store (the cluster adopts replicated snapshots).
+    pub fn checkpoint_store_mut(&mut self) -> &mut CheckpointStore {
+        self.supervisor.checkpoints_mut()
     }
 
     /// Wires `client` to a supervised service: binds the logical name to
@@ -603,11 +687,57 @@ impl System {
         self.supervisor.service_home(service)
     }
 
-    /// One supervisor pass: detect fail-stopped services, escalate through
-    /// the restart/migrate ladder, and finish recoveries whose bitstream
-    /// completed. Runs at the end of every tick when enabled.
+    /// Periodic checkpointing: snapshot every healthy preemptible service
+    /// whose interval elapsed. The tile stalls for the save leg
+    /// ([`checkpoint_downtime`]), so checkpoints are not free — E19
+    /// measures the trade. A service whose accelerator cannot externalize
+    /// state is permanently excused (`next_checkpoint_at = Cycle::MAX`).
+    fn checkpoint_pass(&mut self, sup: &mut Supervisor, now: Cycle) {
+        let interval = self.cfg.supervisor.checkpoint_interval;
+        if interval == 0 {
+            return;
+        }
+        for spec in &mut sup.specs {
+            if spec.abandoned || now < spec.next_checkpoint_at {
+                continue;
+            }
+            let node = spec.node;
+            if self.reconfig.in_progress(node) {
+                continue;
+            }
+            let tile = &mut self.tiles[node.index()];
+            if tile.monitor.state() != TileState::Running || tile.busy_until > now {
+                continue;
+            }
+            let Some(accel) = tile.accel.as_ref() else {
+                continue;
+            };
+            match accel.save_state() {
+                Some(state) => {
+                    let len = state.len();
+                    tile.busy_until = now + checkpoint_downtime(len);
+                    let seq = sup.checkpoints.put(spec.service.0, now, state);
+                    tile.monitor.tracer_mut().record(
+                        now,
+                        node.0,
+                        EventKind::Note(format!("checkpoint seq {seq} ({len} B)")),
+                    );
+                    spec.next_checkpoint_at = now + interval;
+                }
+                None => {
+                    spec.next_checkpoint_at = Cycle::MAX;
+                }
+            }
+        }
+    }
+
+    /// One supervisor pass: take due checkpoints, detect fail-stopped
+    /// services, escalate through the restart/migrate ladder, and finish
+    /// recoveries whose bitstream completed. Runs at the end of every tick
+    /// when enabled.
     fn step_supervisor(&mut self, now: Cycle) {
         let mut sup = std::mem::take(&mut self.supervisor);
+        self.checkpoint_pass(&mut sup, now);
         for si in 0..sup.specs.len() {
             let service = sup.specs[si].service;
             match sup.open_incident(service) {
@@ -618,12 +748,7 @@ impl System {
                     let node = sup.specs[si].node;
                     if self.tiles[node.index()].monitor.state() != TileState::FailStopped
                         || self.reconfig.in_progress(node)
-                        || sup
-                            .incidents
-                            .iter()
-                            .rev()
-                            .find(|i| i.service == service)
-                            .is_some_and(|i| i.abandoned())
+                        || sup.specs[si].abandoned
                     {
                         continue;
                     }
@@ -636,13 +761,13 @@ impl System {
                         .saturating_mul(1u64 << spec.restarts_used.min(16));
                     let target = if spec.restarts_used < self.cfg.supervisor.max_restarts {
                         RecoveryTarget::InPlace(node)
-                    } else if let Some(spare) = sup.free_spares.first().copied() {
-                        sup.free_spares.remove(0);
+                    } else if let Some(spare) = sup.free_spares.pop_front() {
                         RecoveryTarget::Migrate(spare)
                     } else {
                         RecoveryTarget::Abandoned
                     };
                     let phase = if target == RecoveryTarget::Abandoned {
+                        sup.specs[si].abandoned = true;
                         Phase::Closed
                     } else {
                         Phase::Backoff {
@@ -656,6 +781,7 @@ impl System {
                         detected_at: now,
                         recovered_at: None,
                         target,
+                        warm: false,
                         phase,
                     });
                 }
@@ -667,19 +793,40 @@ impl System {
                     };
                     match phase {
                         Phase::Backoff { restart_at } if now >= restart_at => {
+                            // Warm path: restore the latest verified
+                            // checkpoint into the fresh instance before
+                            // loading it. The snapshot crosses the ICAP
+                            // with the bitstream, so recovery time scales
+                            // with state size; a missing or corrupt
+                            // snapshot falls back to the cold
+                            // factory-fresh path.
+                            let warm_state =
+                                sup.checkpoints.latest(service.0).map(|s| s.state.clone());
                             let spec = &mut sup.specs[si];
-                            let accel = (spec.factory)();
+                            let mut accel = (spec.factory)();
+                            let mut warm_bytes = 0u64;
+                            let warm = match warm_state {
+                                Some(state) if accel.restore_state(&state).is_ok() => {
+                                    warm_bytes = state.len() as u64;
+                                    true
+                                }
+                                _ => false,
+                            };
                             // A busy ICAP just pushes the restart out.
                             match self.reconfigure(
                                 dst,
                                 accel,
                                 spec.app,
                                 spec.policy,
-                                spec.bitstream_bytes,
+                                spec.bitstream_bytes + warm_bytes,
                             ) {
                                 Ok(_) => {
                                     spec.restarts_used += 1;
                                     sup.incidents[ii].phase = Phase::Reconfiguring;
+                                    sup.incidents[ii].warm = warm;
+                                    if warm {
+                                        sup.checkpoints.warm_restores += 1;
+                                    }
                                 }
                                 Err(_) => {
                                     // The ICAP is mid-flight on this very
@@ -767,6 +914,127 @@ impl System {
             .tracer_mut()
             .record(now, node.0, EventKind::Preempt { context: 0 });
         Ok(snap.len())
+    }
+
+    /// Installs a *second* tenant on an occupied tile, parked: the tile
+    /// time-multiplexes between the active and parked tenants via
+    /// [`System::swap_context`]. The parked tenant starts cold (no
+    /// snapshot yet) and begins running at its first swap-in.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::SlotEmpty`] if no active tenant is present,
+    /// [`SystemError::SlotOccupied`] if a tenant is already parked.
+    pub fn install_shared(
+        &mut self,
+        node: NodeId,
+        accel: Box<dyn Accelerator>,
+        app: AppId,
+        policy: FaultPolicy,
+    ) -> Result<(), SystemError> {
+        self.check_node(node)?;
+        let tile = &mut self.tiles[node.index()];
+        if tile.accel.is_none() {
+            return Err(SystemError::SlotEmpty(node));
+        }
+        if tile.parked.is_some() {
+            return Err(SystemError::SlotOccupied(node));
+        }
+        tile.parked = Some(ParkedTenant {
+            accel,
+            app,
+            policy,
+            env: CapEnv::new(),
+            snapshot: None,
+        });
+        Ok(())
+    }
+
+    /// Swaps the active and parked tenants on a shared tile: saves the
+    /// active tenant's architectural state, restores the incoming tenant
+    /// from its last swap-out snapshot (or starts it cold), and charges
+    /// the partial-reconfig time model for both legs — the tile stalls
+    /// for [`preemption_downtime`] of the combined state crossing the
+    /// configuration port. Returns `(outgoing, incoming)` snapshot sizes.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::NoParkedTenant`] without a second tenant,
+    /// [`SystemError::NotPreemptible`] if the active tenant cannot
+    /// externalize state (the swap does not happen),
+    /// [`SystemError::ReconfigInProgress`] mid-bitstream.
+    pub fn swap_context(&mut self, node: NodeId) -> Result<(usize, usize), SystemError> {
+        self.check_node(node)?;
+        if self.reconfig.in_progress(node) {
+            return Err(SystemError::ReconfigInProgress(node));
+        }
+        let now = self.clock.now();
+        let tile = &mut self.tiles[node.index()];
+        if tile.parked.is_none() {
+            return Err(SystemError::NoParkedTenant(node));
+        }
+        let outgoing_snap = match tile.accel.as_ref().and_then(|a| a.save_state()) {
+            Some(s) => s,
+            None => return Err(SystemError::NotPreemptible(node)),
+        };
+        let mut incoming = tile.parked.take().expect("checked above");
+        let in_len = match incoming.snapshot.take() {
+            Some(snap) => {
+                incoming
+                    .accel
+                    .restore_state(&snap)
+                    .expect("a tenant restores its own snapshot");
+                snap.len()
+            }
+            None => 0,
+        };
+        let out_len = outgoing_snap.len();
+        self.finish_swap(node, incoming, outgoing_snap, now, out_len, in_len)
+    }
+
+    /// Second half of [`System::swap_context`]: park the outgoing tenant
+    /// with its snapshot, seat the incoming one, charge the downtime.
+    fn finish_swap(
+        &mut self,
+        node: NodeId,
+        incoming: ParkedTenant,
+        outgoing_snap: Vec<u8>,
+        now: Cycle,
+        out_len: usize,
+        in_len: usize,
+    ) -> Result<(usize, usize), SystemError> {
+        let tile = &mut self.tiles[node.index()];
+        let out_accel = tile.accel.take().expect("active tenant was saved");
+        let out_app = tile.app;
+        let out_policy = tile.policy;
+        let out_env = std::mem::replace(&mut tile.env, incoming.env);
+        tile.accel = Some(incoming.accel);
+        tile.app = Some(incoming.app);
+        tile.policy = incoming.policy;
+        tile.parked = Some(ParkedTenant {
+            accel: out_accel,
+            app: out_app.expect("active tenant has an app"),
+            policy: out_policy,
+            env: out_env,
+            snapshot: Some(outgoing_snap),
+        });
+        tile.busy_until = now + preemption_downtime(out_len + in_len);
+        tile.wake = Wakeup::AtOrMessage(Cycle::ZERO);
+        tile.monitor
+            .tracer_mut()
+            .record(now, node.0, EventKind::Preempt { context: 1 });
+        Ok((out_len, in_len))
+    }
+
+    /// Downcasts a tile's *parked* tenant to a concrete type (retention
+    /// audits on the swapped-out tenant).
+    pub fn parked_as<T: 'static>(&self, n: NodeId) -> Option<&T> {
+        self.tiles[n.index()]
+            .parked
+            .as_ref()?
+            .accel
+            .as_any()
+            .downcast_ref::<T>()
     }
 
     /// Begins partial reconfiguration of `node` with a new accelerator.
@@ -933,26 +1201,31 @@ impl System {
 
     /// The supervisor's contribution to [`System::next_phase_due`]: `next`
     /// if a fail-stop is waiting to be detected, else the earliest backoff
-    /// expiry. Reconfiguring incidents close on the bitstream completion
-    /// cycle, which the reconfig deadline already covers.
+    /// expiry or periodic-checkpoint deadline. Reconfiguring incidents
+    /// close on the bitstream completion cycle, which the reconfig
+    /// deadline already covers. A due-but-blocked checkpoint (tile busy)
+    /// re-arms at `busy_until` — the first cycle the dense clock's
+    /// every-cycle retry would have succeeded.
     fn supervisor_due(&self, next: Cycle) -> Cycle {
         let mut due = Cycle::MAX;
         for spec in &self.supervisor.specs {
             match self.supervisor.open_incident(spec.service) {
                 None => {
                     let node = spec.node;
-                    let abandoned = self
-                        .supervisor
-                        .incidents
-                        .iter()
-                        .rev()
-                        .find(|i| i.service == spec.service)
-                        .is_some_and(|i| i.abandoned());
-                    if self.tiles[node.index()].monitor.state() == TileState::FailStopped
+                    if spec.abandoned {
+                        continue;
+                    }
+                    let tile = &self.tiles[node.index()];
+                    if tile.monitor.state() == TileState::FailStopped
                         && !self.reconfig.in_progress(node)
-                        && !abandoned
                     {
                         return next;
+                    }
+                    if spec.next_checkpoint_at != Cycle::MAX
+                        && tile.monitor.state() == TileState::Running
+                        && !self.reconfig.in_progress(node)
+                    {
+                        due = due.min(spec.next_checkpoint_at.max(tile.busy_until).max(next));
                     }
                 }
                 Some(ii) => {

@@ -11,6 +11,23 @@ use apiary_noc::{Delivered, TrafficClass};
 use apiary_sim::{Cycle, Wakeup};
 use apiary_trace::EventKind;
 
+/// A swapped-out tenant on a time-multiplexed tile (§4.4 preemptive
+/// sharing): its accelerator instance, identity, capability environment,
+/// and the architectural-state snapshot taken when it was swapped out
+/// (`None` until its first swap-in — it starts cold).
+pub struct ParkedTenant {
+    /// The swapped-out accelerator instance.
+    pub accel: Box<dyn Accelerator>,
+    /// Owning application.
+    pub app: AppId,
+    /// Fault policy to apply while this tenant is active.
+    pub policy: FaultPolicy,
+    /// Capability environment restored on swap-in.
+    pub env: CapEnv,
+    /// State saved at swap-out; restored on the next swap-in.
+    pub snapshot: Option<Vec<u8>>,
+}
+
 /// One mesh tile.
 pub struct Tile {
     /// The trusted monitor fronting this tile.
@@ -33,6 +50,9 @@ pub struct Tile {
     pub wake: Wakeup,
     /// Fault history.
     pub faults: Vec<FaultRecord>,
+    /// The swapped-out second tenant, when the tile is time-multiplexed
+    /// (see [`crate::System::install_shared`]).
+    pub parked: Option<ParkedTenant>,
 }
 
 impl Tile {
@@ -47,6 +67,7 @@ impl Tile {
             busy_until: Cycle::ZERO,
             wake: Wakeup::AtOrMessage(Cycle::ZERO),
             faults: Vec::new(),
+            parked: None,
         }
     }
 

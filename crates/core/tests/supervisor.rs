@@ -183,3 +183,143 @@ fn supervisor_disabled_leaves_failures_alone() {
     assert_eq!(sys.tile(HOME).monitor.state(), TileState::FailStopped);
     assert!(sys.incidents().is_empty());
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint plane: periodic snapshots make the restart ladder warm.
+// ---------------------------------------------------------------------
+
+use apiary_accel::apps::kv::{kv_store, KvStoreAccel};
+
+const TENANT: u64 = 3;
+
+fn supervised_kv(interval: u64) -> System {
+    let mut sys = System::new(SystemConfig {
+        supervisor: SupervisorConfig {
+            enabled: true,
+            checkpoint_interval: interval,
+            ..SupervisorConfig::default()
+        },
+        ..SystemConfig::default()
+    });
+    sys.deploy_service(
+        SVC,
+        HOME,
+        AppId(1),
+        FaultPolicy::FailStop,
+        BITSTREAM,
+        Box::new(|| Box::new(kv_store())),
+    )
+    .expect("free");
+    sys
+}
+
+fn put(sys: &mut System, key: &[u8], val: &[u8]) {
+    sys.accel_as_mut::<KvStoreAccel>(HOME)
+        .expect("kv installed")
+        .service_mut()
+        .insert(TENANT, key, val);
+}
+
+fn got(sys: &System, key: &[u8]) -> bool {
+    sys.accel_as::<KvStoreAccel>(HOME)
+        .is_some_and(|a| a.service().get(TENANT, key).is_some())
+}
+
+#[test]
+fn periodic_checkpoints_make_restart_warm_with_bounded_staleness() {
+    let mut sys = supervised_kv(1_000);
+    put(&mut sys, b"early", b"survives");
+    // A few intervals elapse; the supervisor snapshots the service.
+    sys.run(3_500);
+    assert!(sys.checkpoint_store().taken >= 2, "checkpoints were taken");
+    // A write after the last checkpoint is inside the staleness window.
+    put(&mut sys, b"late", b"lost");
+    sys.inject_fault(HOME, 0xDEAD);
+    sys.run(6_000);
+
+    let incidents = sys.incidents();
+    assert_eq!(incidents.len(), 1);
+    assert!(incidents[0].mttr().is_some(), "recovered");
+    assert!(incidents[0].warm, "restart restored the checkpoint");
+    assert_eq!(sys.checkpoint_store().warm_restores, 1);
+    assert!(got(&sys, b"early"), "pre-checkpoint writes survive");
+    assert!(
+        !got(&sys, b"late"),
+        "at most one interval of writes is lost — never resurrected"
+    );
+}
+
+#[test]
+fn without_checkpoints_restart_is_cold() {
+    let mut sys = supervised_kv(0);
+    put(&mut sys, b"early", b"gone");
+    sys.run(3_500);
+    assert_eq!(sys.checkpoint_store().taken, 0);
+    sys.inject_fault(HOME, 0xDEAD);
+    sys.run(6_000);
+    let incidents = sys.incidents();
+    assert!(incidents[0].mttr().is_some(), "recovered");
+    assert!(!incidents[0].warm, "factory-fresh restart");
+    assert!(!got(&sys, b"early"), "cold restart loses everything");
+}
+
+#[test]
+fn migration_to_spare_restores_the_checkpoint() {
+    let mut sys = System::new(SystemConfig {
+        supervisor: SupervisorConfig {
+            enabled: true,
+            max_restarts: 0,
+            spare_nodes: vec![SPARE],
+            checkpoint_interval: 1_000,
+            ..SupervisorConfig::default()
+        },
+        ..SystemConfig::default()
+    });
+    sys.deploy_service(
+        SVC,
+        HOME,
+        AppId(1),
+        FaultPolicy::FailStop,
+        BITSTREAM,
+        Box::new(|| Box::new(kv_store())),
+    )
+    .expect("free");
+    put(&mut sys, b"k", b"v");
+    sys.run(2_500);
+    sys.inject_fault(HOME, 7);
+    sys.run(10_000);
+    assert_eq!(sys.service_home(SVC), Some(SPARE));
+    let incidents = sys.incidents();
+    assert_eq!(incidents[0].target, RecoveryTarget::Migrate(SPARE));
+    assert!(incidents[0].warm, "spare migration restored the checkpoint");
+    let kv = sys.accel_as::<KvStoreAccel>(SPARE).expect("on the spare");
+    assert_eq!(kv.service().get(TENANT, b"k"), Some(&b"v"[..]));
+}
+
+#[test]
+fn non_preemptible_service_is_excused_from_checkpoints() {
+    let mut sys = System::new(SystemConfig {
+        supervisor: SupervisorConfig {
+            enabled: true,
+            checkpoint_interval: 500,
+            ..SupervisorConfig::default()
+        },
+        ..SystemConfig::default()
+    });
+    sys.deploy_service(
+        SVC,
+        HOME,
+        AppId(1),
+        FaultPolicy::FailStop,
+        BITSTREAM,
+        Box::new(|| Box::new(apiary_accel::apps::flood::flooder(64))),
+    )
+    .expect("free");
+    sys.run(5_000);
+    assert_eq!(
+        sys.checkpoint_store().taken,
+        0,
+        "a service that cannot externalize state is excused"
+    );
+    assert!(sys.checkpoint_store().is_empty());
+}

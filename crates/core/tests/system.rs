@@ -424,11 +424,13 @@ fn manual_preempt_roundtrips_state() {
     assert_eq!(bytes, 0, "echo has no state");
     assert!(sys.tile(node).busy_until > sys.now());
 
-    // Non-preemptible accelerators refuse.
+    // Non-preemptible accelerators refuse. (The video encoder used to be
+    // the example here, but it externalizes its state now; the flooder
+    // remains genuinely non-preemptible.)
     let node2 = NodeId(7);
     sys.install(
         node2,
-        Box::new(apiary_accel::apps::video::video_encoder(0)),
+        Box::new(apiary_accel::apps::flood::flooder(8)),
         AppId(1),
         FaultPolicy::Preempt,
     )
@@ -643,4 +645,109 @@ fn share_memory_cannot_amplify_rights_or_widen() {
             Some(apiary_cap::MemRange::new(base, 2048))
         )
         .is_err());
+}
+
+// ---------------------------------------------------------------------
+// Preemptive tile sharing (§4.4): two tenants time-multiplex one tile.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shared_tile_time_multiplexes_two_tenants() {
+    use apiary_core::fault::preemption_downtime;
+    let mut sys = small_system();
+    let n = NodeId(4);
+    sys.install(n, Box::new(kv::kv_store()), AppId(1), FaultPolicy::Preempt)
+        .expect("free tile");
+    sys.accel_as_mut::<KvStoreAccel>(n)
+        .expect("installed")
+        .service_mut()
+        .insert(1, b"a", b"alpha");
+    sys.install_shared(n, Box::new(kv::kv_store()), AppId(2), FaultPolicy::Preempt)
+        .expect("second tenant parks");
+
+    // Swap 1: tenant A parks with its snapshot; B starts cold.
+    let start = sys.now();
+    let (out_a, in_b) = sys.swap_context(n).expect("both tenants preemptible");
+    assert!(out_a > 0, "A externalized state");
+    assert_eq!(in_b, 0, "B's first swap-in is cold");
+    assert_eq!(
+        sys.tile(n).busy_until,
+        start + preemption_downtime(out_a),
+        "swap charges the partial-reconfig time model"
+    );
+    assert_eq!(sys.tile(n).app, Some(AppId(2)));
+
+    // Tenant B accumulates its own state while A is parked.
+    sys.accel_as_mut::<KvStoreAccel>(n)
+        .expect("B active")
+        .service_mut()
+        .insert(2, b"b", b"beta-with-more-bytes");
+
+    // Swap 2: B parks, A restores from its swap-out snapshot.
+    let (out_b, in_a) = sys.swap_context(n).expect("swap back");
+    assert!(out_b > out_a, "B's snapshot includes its new entry");
+    assert_eq!(in_a, out_a, "A restores exactly what it saved");
+    let kv_a = sys.accel_as::<KvStoreAccel>(n).expect("A active");
+    assert_eq!(kv_a.service().get(1, b"a"), Some(&b"alpha"[..]));
+    assert!(
+        kv_a.service().get(2, b"b").is_none(),
+        "tenant isolation: B's entries are not visible to A"
+    );
+    let parked_b = sys.parked_as::<KvStoreAccel>(n).expect("B parked");
+    assert_eq!(
+        parked_b.service().get(2, b"b"),
+        Some(&b"beta-with-more-bytes"[..])
+    );
+    // Two swaps traced on the tile.
+    use apiary_trace::EventKind;
+    assert_eq!(
+        sys.tile(n)
+            .monitor
+            .tracer()
+            .count(&EventKind::Preempt { context: 0 }),
+        2
+    );
+}
+
+#[test]
+fn shared_tile_guards_slots_and_preemptibility() {
+    use apiary_core::SystemError;
+    let mut sys = small_system();
+    let n = NodeId(4);
+    // No active tenant: nothing to share with.
+    assert!(matches!(
+        sys.install_shared(n, Box::new(kv::kv_store()), AppId(2), FaultPolicy::Preempt),
+        Err(SystemError::SlotEmpty(_))
+    ));
+    // Swap without a parked tenant.
+    sys.install(n, Box::new(kv::kv_store()), AppId(1), FaultPolicy::Preempt)
+        .expect("free tile");
+    assert!(matches!(
+        sys.swap_context(n),
+        Err(SystemError::NoParkedTenant(_))
+    ));
+    // Only one tenant can be parked.
+    sys.install_shared(n, Box::new(kv::kv_store()), AppId(2), FaultPolicy::Preempt)
+        .expect("parks");
+    assert!(matches!(
+        sys.install_shared(n, Box::new(kv::kv_store()), AppId(3), FaultPolicy::Preempt),
+        Err(SystemError::SlotOccupied(_))
+    ));
+    // A non-preemptible active tenant refuses the swap (and nothing moves).
+    let m = NodeId(6);
+    sys.install(
+        m,
+        Box::new(apiary_accel::apps::flood::flooder(8)),
+        AppId(1),
+        FaultPolicy::FailStop,
+    )
+    .expect("free tile");
+    sys.install_shared(m, Box::new(kv::kv_store()), AppId(2), FaultPolicy::Preempt)
+        .expect("parks");
+    assert!(matches!(
+        sys.swap_context(m),
+        Err(SystemError::NotPreemptible(_))
+    ));
+    assert_eq!(sys.tile(m).accel_name(), "flooder");
+    assert!(sys.tile(m).parked.is_some(), "parked tenant untouched");
 }

@@ -37,6 +37,8 @@ pub struct GoBackNSender {
     timer: Option<Cycle>,
     /// Packets to (re)transmit.
     outbox: VecDeque<Packet>,
+    /// Wire serialization rate (bytes/cycle); 0 = size-unaware timeouts.
+    bytes_per_cycle: u64,
     /// Retransmitted packets (for stats).
     pub retransmissions: u64,
 }
@@ -53,8 +55,35 @@ impl GoBackNSender {
             unacked: VecDeque::new(),
             timer: None,
             outbox: VecDeque::new(),
+            bytes_per_cycle: 0,
             retransmissions: 0,
         }
+    }
+
+    /// Makes the retransmission deadline account for serialization time:
+    /// `timeout + unacked_bytes / bytes_per_cycle` cycles instead of a flat
+    /// `timeout`. A single fixed timeout works for packets much smaller than
+    /// `timeout × rate`, but a bulk payload (e.g. a migration snapshot) whose
+    /// wire time exceeds the timeout would otherwise be retransmitted in a
+    /// storm before its first copy even finishes serializing — delivery still
+    /// succeeds (the receiver discards duplicates) but the wasted copies
+    /// occupy the wire for far longer than the payload itself. `0` disables
+    /// the scaling (the default).
+    pub fn with_serialization_rate(mut self, bytes_per_cycle: u64) -> GoBackNSender {
+        self.bytes_per_cycle = bytes_per_cycle;
+        self
+    }
+
+    /// The retransmission deadline as of `now`: the flat timeout plus the
+    /// serialization time of everything outstanding (when a rate is set).
+    fn deadline(&self, now: Cycle) -> Cycle {
+        let extra = if self.bytes_per_cycle == 0 {
+            0
+        } else {
+            let bytes: u64 = self.unacked.iter().map(|p| p.len() as u64).sum();
+            bytes.div_ceil(self.bytes_per_cycle)
+        };
+        now + self.timeout + extra
     }
 
     /// Offers a payload; returns `false` (not accepted) when the window is
@@ -70,7 +99,7 @@ impl GoBackNSender {
         self.unacked.push_back(payload);
         self.next_seq += 1;
         if self.timer.is_none() {
-            self.timer = Some(now + self.timeout);
+            self.timer = Some(self.deadline(now));
         }
         true
     }
@@ -84,7 +113,7 @@ impl GoBackNSender {
         self.timer = if self.unacked.is_empty() {
             None
         } else {
-            Some(now + self.timeout)
+            Some(self.deadline(now))
         };
     }
 
@@ -102,7 +131,7 @@ impl GoBackNSender {
                     });
                     self.retransmissions += 1;
                 }
-                self.timer = Some(now + self.timeout);
+                self.timer = Some(self.deadline(now));
             }
         }
         self.outbox.drain(..).collect()
@@ -330,6 +359,37 @@ mod tests {
         let mut fresh = GoBackNSender::new(2, 100);
         fresh.on_ack(Ack { next: 7 }, Cycle(0));
         assert!(fresh.idle());
+    }
+
+    #[test]
+    fn serialization_rate_scales_the_timeout_for_bulk_payloads() {
+        // A 64 KiB payload on a 16 B/cycle wire takes 4096 cycles to
+        // serialize — more than the 100-cycle flat timeout. Size-unaware,
+        // the sender would retransmit dozens of copies before the first
+        // one could possibly be acked; with the rate set, the deadline is
+        // 100 + 4096 and no spurious retransmission happens.
+        let mut tx = GoBackNSender::new(4, 100).with_serialization_rate(16);
+        assert!(tx.offer(vec![0u8; 64 * 1024], Cycle(0)));
+        assert_eq!(tx.poll(Cycle(0)).len(), 1);
+        assert!(tx.poll(Cycle(4195)).is_empty(), "deadline is 100 + 4096");
+        assert_eq!(tx.retransmissions, 0);
+        // A genuinely lost bulk payload is still retransmitted — once the
+        // scaled deadline passes, not never.
+        assert_eq!(tx.poll(Cycle(4196)).len(), 1);
+        assert_eq!(tx.retransmissions, 1);
+        // New offers do NOT slide the armed deadline (a retransmit timer
+        // that resets on new data never fires under continuous traffic) —
+        // but an ack rebases it on everything still outstanding, so a bulk
+        // payload offered behind a small one is covered from the moment
+        // the small one is acked.
+        let mut tx = GoBackNSender::new(4, 100).with_serialization_rate(16);
+        assert!(tx.offer(vec![0u8; 1600], Cycle(0)));
+        assert_eq!(tx.next_timeout(), Some(Cycle(200)));
+        assert!(tx.offer(vec![0u8; 64 * 1024], Cycle(50)));
+        assert_eq!(tx.next_timeout(), Some(Cycle(200)), "offers never extend");
+        tx.poll(Cycle(50));
+        tx.on_ack(Ack { next: 1 }, Cycle(60));
+        assert_eq!(tx.next_timeout(), Some(Cycle(4256)), "60 + 100 + 65536/16");
     }
 
     #[test]

@@ -108,6 +108,7 @@ fn soak(seed: u64, rate: f64, recovery: bool, duration: u64) -> Soak {
             max_restarts: 2,
             restart_backoff: 128,
             spare_nodes: SPARES.to_vec(),
+            checkpoint_interval: 0,
         },
         ..SystemConfig::default()
     });
