@@ -4,7 +4,7 @@ use crate::os::TileOs;
 use apiary_cap::CapRef;
 use apiary_monitor::wire;
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::{Cycle, Wakeup};
+use apiary_sim::{Cycle, Payload, Wakeup};
 use core::fmt;
 
 /// Error restoring externalized accelerator state.
@@ -106,7 +106,7 @@ pub struct ServiceReply {
     /// Traffic class for the response.
     pub class: TrafficClass,
     /// Response payload.
-    pub payload: Vec<u8>,
+    pub payload: Payload,
     /// Compute cycles the request costs before the response can leave
     /// (models the accelerator's processing latency).
     pub cost_cycles: u64,
@@ -114,11 +114,11 @@ pub struct ServiceReply {
 
 impl ServiceReply {
     /// A plain response with the given payload and cost.
-    pub fn ok(payload: Vec<u8>, cost_cycles: u64) -> ServiceReply {
+    pub fn ok(payload: impl Into<Payload>, cost_cycles: u64) -> ServiceReply {
         ServiceReply {
             kind: wire::KIND_RESPONSE,
             class: TrafficClass::Request,
-            payload,
+            payload: payload.into(),
             cost_cycles,
         }
     }
@@ -128,7 +128,7 @@ impl ServiceReply {
         ServiceReply {
             kind: wire::KIND_ERROR,
             class: TrafficClass::Control,
-            payload: vec![code],
+            payload: vec![code].into(),
             cost_cycles: 1,
         }
     }
@@ -148,7 +148,7 @@ pub enum ServiceAction {
         /// Traffic class for the forwarded message.
         class: TrafficClass,
         /// The forwarded payload.
-        payload: Vec<u8>,
+        payload: Payload,
         /// Compute latency before the forward leaves.
         cost_cycles: u64,
     },
@@ -209,7 +209,7 @@ enum Completion {
         kind: u16,
         tag: u64,
         class: TrafficClass,
-        payload: Vec<u8>,
+        payload: Payload,
     },
 }
 

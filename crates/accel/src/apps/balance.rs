@@ -154,7 +154,7 @@ impl Accelerator for BalancerAccel {
                             &d,
                             wire::KIND_ERROR,
                             apiary_noc::TrafficClass::Control,
-                            vec![wire::err::OVERLOAD],
+                            vec![wire::err::OVERLOAD].into(),
                         );
                     }
                 }

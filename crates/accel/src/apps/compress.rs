@@ -90,14 +90,14 @@ impl Service for CompressorService {
                 cap: next,
                 kind: wire::KIND_REQUEST,
                 class: TrafficClass::Bulk,
-                payload: out,
+                payload: out.into(),
                 cost_cycles: cost,
             }
         } else {
             ServiceAction::Reply(ServiceReply {
                 kind: wire::KIND_RESPONSE,
                 class: TrafficClass::Bulk,
-                payload: out,
+                payload: out.into(),
                 cost_cycles: cost,
             })
         }

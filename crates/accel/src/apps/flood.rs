@@ -9,7 +9,7 @@ use crate::accelerator::{Service, ServiceAction};
 use crate::os::TileOs;
 use apiary_monitor::{wire, SendError};
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::{Cycle, Wakeup};
+use apiary_sim::{Cycle, Payload, Wakeup};
 
 /// Fires requests at the capability named `"target"` in the cap
 /// environment, every cycle, forever.
@@ -19,7 +19,7 @@ pub struct FlooderService {
     pub payload_bytes: usize,
     /// Exact payload to send instead of junk — lets the flooder pose as a
     /// legitimate-but-abusive client of a real protocol (e.g. KV PUTs).
-    pub template: Option<Vec<u8>>,
+    pub template: Option<Payload>,
     /// Traffic class used for the flood.
     pub class: TrafficClass,
     /// Messages successfully handed to the monitor.
@@ -56,9 +56,11 @@ impl FlooderService {
         // Try to send as many messages as the monitor will take this cycle,
         // up to the issue width.
         for _ in 0..self.burst_per_cycle {
-            let body = match &self.template {
+            // Flooding a template is a pure refcount bump per message; the
+            // junk fill is materialised once per burst size change at most.
+            let body: Payload = match &self.template {
                 Some(t) => t.clone(),
-                None => vec![0x55; self.payload_bytes],
+                None => vec![0x55; self.payload_bytes].into(),
             };
             match os.send(target, wire::KIND_REQUEST, self.tag, self.class, body) {
                 Ok(()) => {

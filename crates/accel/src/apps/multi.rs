@@ -133,7 +133,7 @@ impl<S: Service + 'static> Accelerator for MultiService<S> {
                     &req,
                     wire::KIND_ERROR,
                     TrafficClass::Control,
-                    vec![wire::err::REJECTED],
+                    vec![wire::err::REJECTED].into(),
                 );
                 backlog
             }

@@ -87,14 +87,14 @@ impl Service for VideoEncoderService {
                 cap: next,
                 kind: wire::KIND_REQUEST,
                 class: TrafficClass::Bulk,
-                payload: stream,
+                payload: stream.into(),
                 cost_cycles: cost,
             }
         } else {
             ServiceAction::Reply(ServiceReply {
                 kind: wire::KIND_RESPONSE,
                 class: TrafficClass::Bulk,
-                payload: stream,
+                payload: stream.into(),
                 cost_cycles: cost,
             })
         }

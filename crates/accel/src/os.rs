@@ -3,7 +3,7 @@
 use apiary_cap::CapRef;
 use apiary_monitor::SendError;
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, Payload};
 
 /// The capability environment a process starts with: named handles to the
 /// resources the kernel granted it (its "argv of authority").
@@ -88,7 +88,7 @@ pub trait TileOs {
         kind: u16,
         tag: u64,
         class: TrafficClass,
-        payload: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), SendError>;
 
     /// Replies to a received message. Succeeds only if the kernel granted
@@ -103,7 +103,7 @@ pub trait TileOs {
         to: &Delivered,
         kind: u16,
         class: TrafficClass,
-        payload: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), SendError>;
 
     /// Issues an asynchronous read of `len` bytes at `offset` within the
@@ -155,7 +155,7 @@ pub mod test_os {
     use apiary_cap::CapRef;
     use apiary_monitor::SendError;
     use apiary_noc::{Delivered, NodeId, TrafficClass};
-    use apiary_sim::Cycle;
+    use apiary_sim::{Cycle, Payload};
     use std::collections::VecDeque;
 
     /// A mock tile OS: deliveries are scripted, sends and faults are
@@ -165,9 +165,9 @@ pub mod test_os {
         now: Cycle,
         inbox: VecDeque<Delivered>,
         /// Replies sent: (destination, kind, class, payload).
-        pub sent: Vec<(NodeId, u16, TrafficClass, Vec<u8>)>,
+        pub sent: Vec<(NodeId, u16, TrafficClass, Payload)>,
         /// Raw sends through capabilities: (cap, kind, tag, payload).
-        pub cap_sends: Vec<(CapRef, u16, u64, Vec<u8>)>,
+        pub cap_sends: Vec<(CapRef, u16, u64, Payload)>,
         /// Memory operations issued: (cap, offset, len_or_data_len, write?).
         pub mem_ops: Vec<(CapRef, u64, u64, bool)>,
         /// Faults raised.
@@ -223,7 +223,7 @@ pub mod test_os {
             kind: u16,
             tag: u64,
             _class: TrafficClass,
-            payload: Vec<u8>,
+            payload: Payload,
         ) -> Result<(), SendError> {
             self.cap_sends.push((cap, kind, tag, payload));
             Ok(())
@@ -234,7 +234,7 @@ pub mod test_os {
             to: &Delivered,
             kind: u16,
             class: TrafficClass,
-            payload: Vec<u8>,
+            payload: Payload,
         ) -> Result<(), SendError> {
             self.sent.push((to.msg.src, kind, class, payload));
             Ok(())

@@ -11,6 +11,11 @@
 //!   per-cycle reference clock and fails (exit 1) unless every report is
 //!   byte-identical to the event-clock run. The wall-time ratio between
 //!   the two runs is the event-core speedup, recorded in the baseline.
+//! - `--bench-guard` compares this run's aggregate `sim_cycles_per_sec`
+//!   against the committed `results/BENCH_apiary.json` *before* overwriting
+//!   it and fails (exit 1) on a drop of more than 10% — the perf-regression
+//!   tripwire CI runs. Baselines from a different mode (quick vs full) are
+//!   skipped with a warning rather than compared.
 //! - Each experiment's structured result lands in `results/eNN_<name>.json`;
 //!   the aggregate (wall time, simulated cycles/sec, headline metrics, and
 //!   the measured NoC active-set speedup) in `results/BENCH_apiary.json`.
@@ -80,6 +85,7 @@ fn main() {
         .iter()
         .any(|a| a == "--det-check" || a == "--det-check=jobs");
     let det_check_clock = args.iter().any(|a| a == "--det-check=event-vs-dense");
+    let bench_guard = args.iter().any(|a| a == "--bench-guard");
     let mut jobs = harness::default_jobs();
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
@@ -87,7 +93,7 @@ fn main() {
             _ => {
                 eprintln!(
                     "usage: all_experiments [--full] [--jobs N] [--det-check[=jobs]] \
-                     [--det-check=event-vs-dense]"
+                     [--det-check=event-vs-dense] [--bench-guard]"
                 );
                 std::process::exit(2);
             }
@@ -175,6 +181,53 @@ fn main() {
 
     let total_sim_cycles: u64 = reports.iter().map(|r| r.sim_cycles).sum();
     let cycles_per_sec = total_sim_cycles as f64 / (suite_wall_ms / 1000.0).max(1e-9);
+
+    if bench_guard {
+        // Compare against the *committed* baseline before it is overwritten
+        // below. The baseline is hand-parsed (no serde in this workspace):
+        // the first "sim_cycles_per_sec" in the file is the top-level
+        // aggregate — the per-experiment copies live inside the
+        // "experiments" array, which renders after it.
+        let field = |text: &str, key: &str| -> Option<String> {
+            text.lines().find_map(|l| {
+                l.trim()
+                    .strip_prefix(&format!("\"{key}\":"))
+                    .map(|v| v.trim().trim_end_matches(',').trim_matches('"').to_string())
+            })
+        };
+        match std::fs::read_to_string("results/BENCH_apiary.json") {
+            Ok(old) => {
+                let old_mode = field(&old, "mode");
+                let baseline =
+                    field(&old, "sim_cycles_per_sec").and_then(|v| v.parse::<f64>().ok());
+                match (old_mode.as_deref(), baseline) {
+                    (Some(m), _) if m != if quick { "quick" } else { "full" } => eprintln!(
+                        "bench-guard: baseline mode `{m}` differs from this run; skipping comparison"
+                    ),
+                    (_, Some(base)) if base > 0.0 => {
+                        let ratio = cycles_per_sec / base;
+                        if ratio < 0.9 {
+                            eprintln!(
+                                "bench-guard FAILED: sim_cycles_per_sec {cycles_per_sec:.0} is \
+                                 {:.1}% below the committed baseline {base:.0} (>10% regression)",
+                                (1.0 - ratio) * 100.0
+                            );
+                            std::process::exit(1);
+                        }
+                        println!(
+                            "bench-guard OK: sim_cycles_per_sec {cycles_per_sec:.0} vs baseline \
+                             {base:.0} ({:+.1}%)",
+                            (ratio - 1.0) * 100.0
+                        );
+                    }
+                    _ => eprintln!(
+                        "bench-guard: no parsable sim_cycles_per_sec in baseline; skipping"
+                    ),
+                }
+            }
+            Err(_) => eprintln!("bench-guard: no committed baseline; skipping comparison"),
+        }
+    }
     let experiments: Vec<Json> = reports
         .iter()
         .map(|r| {

@@ -105,6 +105,10 @@ pub fn report(quick: bool) -> ExperimentReport {
         let cfg = SystemConfig {
             monitor: MonitorConfig {
                 check_cycles: check,
+                // This sweep prices the *per-message* check pipeline; the
+                // flow-verdict cache would hide it behind the first request
+                // (E5 measures that effect).
+                flow_cache: false,
                 ..MonitorConfig::default()
             },
             ..SystemConfig::default()

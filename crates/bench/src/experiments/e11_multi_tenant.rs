@@ -117,7 +117,7 @@ fn run_scenario(s: Scenario, requests: u64) -> Outcome {
         let mut f = flooder(64);
         // The attacker is a legitimate-but-abusive tenant: it sends valid
         // PUTs, which cost the store real work per message.
-        f.service_mut().template = Some(kv::put_req(b"flood-key", &[0x55; 40]));
+        f.service_mut().template = Some(kv::put_req(b"flood-key", &[0x55; 40]).into());
         sys.install(attacker, Box::new(f), AppId(3), FaultPolicy::FailStop)
             .expect("free");
         if s == Scenario::WithFloodDefended {

@@ -5,7 +5,7 @@ use apiary_cap::CapRef;
 use apiary_core::{AppId, FaultPolicy, System, SystemConfig};
 use apiary_monitor::{wire, SendError};
 use apiary_noc::{NodeId, TrafficClass};
-use apiary_sim::{clock_mode, ClockMode, Cycle, Histogram};
+use apiary_sim::{clock_mode, ClockMode, Cycle, Histogram, Payload};
 use std::collections::HashMap;
 
 /// A closed-loop request driver attached directly to a tile's monitor —
@@ -49,7 +49,7 @@ pub struct MonitorClient {
     /// Round-trip latency histogram.
     pub rtt: Histogram,
     /// Response payloads kept for verification (bounded).
-    pub kept: Vec<(u64, Vec<u8>)>,
+    pub kept: Vec<(u64, Payload)>,
     /// How many response payloads to keep.
     pub keep: usize,
     /// Tag namespace offset so co-resident clients don't collide.

@@ -1230,7 +1230,7 @@ impl ClusterSystem {
                             body: Body::Reply {
                                 tag: ing.tag,
                                 is_error,
-                                payload: d.msg.payload,
+                                payload: d.msg.payload.to_vec(),
                             },
                         });
                     }

@@ -26,7 +26,7 @@ use apiary_cap::ServiceId;
 use apiary_net::arq::{Ack, GoBackNReceiver, GoBackNSender, Packet};
 use apiary_net::{Frame, Wire};
 use apiary_noc::NodeId;
-use apiary_sim::{Cycle, Schedulable, Wakeup};
+use apiary_sim::{Cycle, Payload, Schedulable, Wakeup};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Endpoint id of the top-of-rack switch (star topology only).
@@ -335,9 +335,10 @@ struct Link {
     acks: Wire,
     tx: GoBackNSender,
     rx: GoBackNReceiver,
-    backlog: VecDeque<Vec<u8>>,
+    backlog: VecDeque<Payload>,
     up: bool,
     cut_drops: u64,
+    acks_coalesced: u64,
 }
 
 impl Link {
@@ -363,15 +364,18 @@ impl Link {
             backlog: VecDeque::new(),
             up: true,
             cut_drops: 0,
+            acks_coalesced: 0,
         }
     }
 
     /// One cycle: admit backlog into the ARQ window, transmit, receive,
     /// ack. Returns delivered payloads and how many packets were
     /// retransmitted this cycle.
-    fn pump(&mut self, now: Cycle) -> (Vec<Vec<u8>>, u64) {
+    fn pump(&mut self, now: Cycle) -> (Vec<Payload>, u64) {
         let retx_before = self.tx.retransmissions;
         while let Some(m) = self.backlog.front() {
+            // Admission is a refcount bump: the ARQ window and the backlog
+            // share the same buffer.
             if self.tx.offer(m.clone(), now) {
                 self.backlog.pop_front();
             } else {
@@ -394,6 +398,12 @@ impl Link {
             }
         }
         let mut out = Vec::new();
+        // Acks are cumulative and the receiver's expected-seq only grows,
+        // so a burst of in-order arrivals needs exactly one ack frame: the
+        // last one of the burst dominates every earlier one. Coalescing
+        // frees the reverse wire of (burst - 1) minimum-size frames.
+        let mut burst_ack: Option<Ack> = None;
+        let mut burst_len = 0u64;
         while let Some(f) = self.data.pop_due(now) {
             if !self.up {
                 self.cut_drops += 1;
@@ -406,13 +416,18 @@ impl Link {
             if let Some(d) = delivered {
                 out.push(d);
             }
+            burst_ack = Some(ack);
+            burst_len += 1;
+        }
+        if let Some(ack) = burst_ack {
+            self.acks_coalesced += burst_len - 1;
             self.acks.push(
                 now,
                 Frame {
                     client: 0,
                     port: 0,
                     tag: ack.next,
-                    payload: Vec::new(),
+                    payload: Payload::empty(),
                 },
             );
         }
@@ -464,6 +479,8 @@ pub struct FabricStats {
     pub cut_drops: u64,
     /// Frames dropped by the links' loss models.
     pub loss_drops: u64,
+    /// Redundant cumulative acks suppressed by per-burst coalescing.
+    pub acks_coalesced: u64,
 }
 
 /// The inter-board network.
@@ -523,7 +540,9 @@ impl Fabric {
             Topology::FullMesh => (msg.src, msg.dst),
         };
         if let Some(l) = self.links.get_mut(&first_hop) {
-            l.backlog.push_back(msg.encode());
+            // Encode once; every later hop and retransmission shares the
+            // buffer.
+            l.backlog.push_back(msg.encode().into());
         }
     }
 
@@ -614,6 +633,7 @@ impl Fabric {
             s.retransmissions += l.tx.retransmissions;
             s.cut_drops += l.cut_drops;
             s.loss_drops += l.data.dropped;
+            s.acks_coalesced += l.acks_coalesced;
         }
         s
     }

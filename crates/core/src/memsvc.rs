@@ -17,14 +17,14 @@ use apiary_mem::{DramConfig, DramModel};
 use apiary_monitor::monitor::wire_mem;
 use apiary_monitor::wire;
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::{Cycle, Wakeup};
+use apiary_sim::{Cycle, Payload, Wakeup};
 use std::collections::VecDeque;
 
 /// A completed-at-`done` reply waiting to leave.
 struct PendingReply {
     done: Cycle,
     to: Delivered,
-    payload: Vec<u8>,
+    payload: Payload,
     kind: u16,
 }
 
@@ -105,7 +105,7 @@ impl MemoryService {
         self.pending.push_back(PendingReply {
             done,
             to: req,
-            payload,
+            payload: payload.into(),
             kind: wire::KIND_MEM_REPLY,
         });
     }

@@ -39,6 +39,13 @@ impl RegistryService {
     /// this publish displaced, if the name was already taken — silently
     /// overwriting a live service's name is how split-brain directories
     /// start, so callers get to notice and withdraw-then-republish instead.
+    ///
+    /// Flow-cache contract: the registry only maps *names* to service ids;
+    /// it never changes where a monitor's service table points. Rebinding a
+    /// service to a new node goes through [`crate::System::bind_service`],
+    /// which calls `Monitor::bind_service` on the client tile — and that
+    /// call invalidates the monitor's flow-verdict cache, so a cached
+    /// (capability, destination) verdict can never outlive a rebind.
     pub fn publish(
         &mut self,
         name: &str,
@@ -128,7 +135,7 @@ impl Accelerator for RegistryService {
                 &req,
                 wire::KIND_LOOKUP_REPLY,
                 TrafficClass::Control,
-                Self::encode_reply(entry),
+                Self::encode_reply(entry).into(),
             );
         }
         // Purely reactive: nothing to do until the next lookup arrives.

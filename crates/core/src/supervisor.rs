@@ -23,6 +23,12 @@
 //! dead tile's own capability table was already cleared by fail-stop/reset,
 //! so no stale authority survives the move.
 //!
+//! Rewiring also keeps the monitors' flow-verdict caches honest: every
+//! client rebind lands in `Monitor::bind_service`, and the failed tile's
+//! teardown lands in `Monitor::fail_stop`/`reset` — each of which clears
+//! the tile's cached (capability, destination) verdicts. A batched verdict
+//! therefore never survives the reconfiguration that could invalidate it.
+//!
 //! Each incident records detection and recovery cycles; the difference is
 //! the incident's MTTR, the metric experiment E16 sweeps.
 

@@ -8,7 +8,7 @@ use apiary_cap::CapRef;
 use apiary_mem::AccessKind;
 use apiary_monitor::{Monitor, SendError};
 use apiary_noc::{Delivered, TrafficClass};
-use apiary_sim::{Cycle, Wakeup};
+use apiary_sim::{Cycle, Payload, Wakeup};
 use apiary_trace::EventKind;
 
 /// A swapped-out tenant on a time-multiplexed tile (§4.4 preemptive
@@ -118,7 +118,7 @@ impl TileOs for KernelOs<'_> {
         kind: u16,
         tag: u64,
         class: TrafficClass,
-        payload: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), SendError> {
         self.monitor.send(cap, kind, tag, class, payload, self.now)
     }
@@ -128,7 +128,7 @@ impl TileOs for KernelOs<'_> {
         to: &Delivered,
         kind: u16,
         class: TrafficClass,
-        payload: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), SendError> {
         let cap = self
             .monitor
@@ -241,7 +241,7 @@ mod tests {
                 &d,
                 apiary_monitor::wire::KIND_RESPONSE,
                 TrafficClass::Request,
-                vec![]
+                Payload::empty()
             )
             .is_err());
         drop(os);
@@ -257,7 +257,7 @@ mod tests {
             &d,
             apiary_monitor::wire::KIND_RESPONSE,
             TrafficClass::Request,
-            vec![],
+            Payload::empty(),
         )
         .expect("granted");
     }

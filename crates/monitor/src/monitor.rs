@@ -5,7 +5,7 @@ use crate::wire;
 use apiary_cap::{CapError, CapKind, CapRef, CapTable, Capability, Rights};
 use apiary_mem::{AccessKind, ProtectError, SegmentChecker};
 use apiary_noc::{Delivered, Message, Noc, NodeId, TrafficClass};
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, FxHashMap, Payload};
 use apiary_trace::{EventKind, Tracer};
 use core::fmt;
 use std::collections::{HashMap, VecDeque};
@@ -33,6 +33,14 @@ pub struct MonitorConfig {
     /// inbox for this many cycles, the monitor reports the accelerator as
     /// hung (§4.4's "the process may never yield"). `None` disables it.
     pub watchdog_cycles: Option<u64>,
+    /// Batched flow verdicts: cache the capability check per
+    /// `(cap, destination)` flow so a burst of in-order sends through the
+    /// same capability pays the `check_cycles` pipeline once, not per
+    /// message. The cache is invalidated wholesale on any operation that
+    /// can change a verdict (revoke, service rebind, fail-stop, reset), so
+    /// verdicts are message-for-message identical to per-message checking.
+    /// `false` restores the exact legacy per-message timing.
+    pub flow_cache: bool,
 }
 
 impl Default for MonitorConfig {
@@ -46,6 +54,7 @@ impl Default for MonitorConfig {
             max_payload: 4096,
             trace_depth: 0,
             watchdog_cycles: None,
+            flow_cache: true,
         }
     }
 }
@@ -78,6 +87,10 @@ pub enum SendError {
     UnknownService,
     /// Payload exceeds the configured maximum.
     PayloadTooLarge,
+    /// An endpoint capability names an id outside the NoC's node-id space.
+    /// Surfaced as an explicit error instead of silently truncating the id
+    /// (endpoint 65537 must not alias node 1).
+    InvalidEndpoint,
 }
 
 impl fmt::Display for SendError {
@@ -90,6 +103,7 @@ impl fmt::Display for SendError {
             SendError::FailStopped => write!(f, "tile fail-stopped"),
             SendError::UnknownService => write!(f, "unknown service"),
             SendError::PayloadTooLarge => write!(f, "payload too large"),
+            SendError::InvalidEndpoint => write!(f, "endpoint id out of node range"),
         }
     }
 }
@@ -125,6 +139,11 @@ pub struct MonitorStats {
     pub nacks_sent: u64,
     /// Inbound messages dropped (inbox overflow on error replies).
     pub dropped: u64,
+    /// Sends whose capability verdict came from the flow cache (the
+    /// `check_cycles` pipeline charge was skipped).
+    pub flow_hits: u64,
+    /// Sends that took the full capability check and primed the flow cache.
+    pub flow_misses: u64,
 }
 
 /// The trusted per-tile monitor.
@@ -144,6 +163,19 @@ pub struct Monitor {
     inbox: VecDeque<Delivered>,
     stats: MonitorStats,
     tracer: Tracer,
+    /// Batched flow verdicts: `(cap index, cap generation)` -> resolved
+    /// destination and badge. Populated on a successful full check, cleared
+    /// by every operation that can change a verdict (see
+    /// [`MonitorConfig::flow_cache`]). Never iterated, so hash-map order
+    /// cannot leak into simulation results.
+    flows: FxHashMap<(u16, u16), FlowEntry>,
+}
+
+/// A cached capability verdict for one `(cap, destination)` flow.
+#[derive(Debug, Clone, Copy)]
+struct FlowEntry {
+    dst: NodeId,
+    badge: u64,
 }
 
 impl Monitor {
@@ -163,6 +195,7 @@ impl Monitor {
             inbox: VecDeque::new(),
             stats: MonitorStats::default(),
             tracer: Tracer::new(cfg.trace_depth),
+            flows: FxHashMap::default(),
             cfg,
         }
     }
@@ -230,12 +263,20 @@ impl Monitor {
     ///
     /// Propagates [`CapError`] from the table.
     pub fn revoke_cap(&mut self, r: CapRef) -> Result<(), CapError> {
+        // Revocation kills a whole subtree of capabilities; invalidate every
+        // batched flow verdict so the next send re-checks from scratch.
+        self.flows.clear();
         self.caps.revoke(r)
     }
 
     /// Binds a logical service id to a physical node in this tile's name
     /// table (§4.3).
+    ///
+    /// Rebinding changes where service capabilities resolve, so this is a
+    /// flow-cache invalidation point: the supervisor's reconfiguration
+    /// rewiring and the registry's publish/withdraw path both land here.
     pub fn bind_service(&mut self, service: u32, node: NodeId) {
+        self.flows.clear();
         self.names.insert(service, node);
     }
 
@@ -244,8 +285,10 @@ impl Monitor {
     /// discipline: a service can only answer clients it was explicitly
     /// connected to (§4.2 — IPC must be established).
     pub fn find_endpoint_cap(&self, node: NodeId) -> Option<CapRef> {
+        // Compare in the wider u32 domain: endpoint 65537 must not match
+        // node 1 (the old `e.0 as u16` truncation aliased them).
         self.caps.iter_live().find_map(|(r, c)| match c.kind {
-            CapKind::Endpoint(e) if e.0 as u16 == node.0 && c.rights.contains(Rights::SEND) => {
+            CapKind::Endpoint(e) if e.0 == u32::from(node.0) && c.rights.contains(Rights::SEND) => {
                 Some(r)
             }
             _ => None,
@@ -259,6 +302,7 @@ impl Monitor {
         self.state = TileState::FailStopped;
         self.outbox.clear();
         self.inbox.clear();
+        self.flows.clear();
         self.tracer.record(now, self.node.0, EventKind::FailStop);
     }
 
@@ -270,6 +314,7 @@ impl Monitor {
         self.inbox.clear();
         self.caps = CapTable::new(self.cfg.cap_slots);
         self.names.clear();
+        self.flows.clear();
         self.tracer.record(now, self.node.0, EventKind::Reconfig);
     }
 
@@ -280,7 +325,12 @@ impl Monitor {
     /// Resolves the destination node a capability names.
     fn resolve_dst(&self, cap: &Capability) -> Result<NodeId, SendError> {
         match cap.kind {
-            CapKind::Endpoint(e) => Ok(NodeId(e.0 as u16)),
+            // Endpoint ids are u32 but NoC node ids are u16; an id that
+            // does not fit is a malformed capability, not an alias of
+            // whatever node the low 16 bits happen to spell.
+            CapKind::Endpoint(e) => u16::try_from(e.0)
+                .map(NodeId)
+                .map_err(|_| SendError::InvalidEndpoint),
             CapKind::Service(s) => self
                 .names
                 .get(&s.0)
@@ -298,6 +348,14 @@ impl Monitor {
     /// source and the capability badge, and queues the message for
     /// injection. The `kind`/`tag` words are application-level.
     ///
+    /// With [`MonitorConfig::flow_cache`] enabled (the default), the first
+    /// send through a capability takes the full check and pays the
+    /// `check_cycles` pipeline; subsequent sends through the same live
+    /// capability reuse the cached verdict and inject without the pipeline
+    /// charge. Any revoke/rebind/fail-stop/reset invalidates the cache, so
+    /// the *verdicts* are identical either way — only the timing of
+    /// repeat-flow traffic improves.
+    ///
     /// # Errors
     ///
     /// [`SendError`] describing the refusal; refusals have no side effects
@@ -308,31 +366,66 @@ impl Monitor {
         kind: u16,
         tag: u64,
         class: TrafficClass,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
         now: Cycle,
     ) -> Result<(), SendError> {
+        let payload: Payload = payload.into();
         if self.state == TileState::FailStopped {
             return Err(SendError::FailStopped);
         }
         if payload.len() > self.cfg.max_payload {
             return Err(SendError::PayloadTooLarge);
         }
-        let capability = match self.caps.check(cap, Rights::SEND) {
-            Ok(c) => *c,
-            Err(e) => {
-                self.stats.denied += 1;
-                self.tracer
-                    .record(now, self.node.0, EventKind::SendDenied { dst: u16::MAX });
-                return Err(e.into());
-            }
+        let flow_key = (cap.index, cap.generation);
+        let cached = if self.cfg.flow_cache {
+            self.flows.get(&flow_key).copied()
+        } else {
+            None
         };
-        let dst = match self.resolve_dst(&capability) {
-            Ok(d) => d,
-            Err(e) => {
-                self.stats.denied += 1;
-                self.tracer
-                    .record(now, self.node.0, EventKind::SendDenied { dst: u16::MAX });
-                return Err(e);
+        let (dst, badge, ready) = match cached {
+            // Cache hit: the capability was checked when the flow was
+            // primed and nothing has invalidated it since, so the verdict
+            // stands. Skip the table walk and the pipeline charge.
+            Some(entry) => {
+                self.stats.flow_hits += 1;
+                (entry.dst, entry.badge, now)
+            }
+            None => {
+                let capability = match self.caps.check(cap, Rights::SEND) {
+                    Ok(c) => *c,
+                    Err(e) => {
+                        self.stats.denied += 1;
+                        self.tracer.record(
+                            now,
+                            self.node.0,
+                            EventKind::SendDenied { dst: u16::MAX },
+                        );
+                        return Err(e.into());
+                    }
+                };
+                let dst = match self.resolve_dst(&capability) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        self.stats.denied += 1;
+                        self.tracer.record(
+                            now,
+                            self.node.0,
+                            EventKind::SendDenied { dst: u16::MAX },
+                        );
+                        return Err(e);
+                    }
+                };
+                if self.cfg.flow_cache {
+                    self.stats.flow_misses += 1;
+                    self.flows.insert(
+                        flow_key,
+                        FlowEntry {
+                            dst,
+                            badge: capability.badge,
+                        },
+                    );
+                }
+                (dst, capability.badge, now + self.cfg.check_cycles)
             }
         };
         if self.outbox.len() >= self.cfg.outbox_depth {
@@ -349,7 +442,7 @@ impl Monitor {
         let mut msg = Message::new(self.node, dst, class, payload);
         msg.kind = kind;
         msg.tag = tag;
-        msg.badge = capability.badge;
+        msg.badge = badge;
         self.tracer.record(
             now,
             self.node.0,
@@ -357,11 +450,11 @@ impl Monitor {
                 dst: dst.0,
                 kind,
                 tag,
-                bytes: msg.payload.len() as u32,
+                bytes: msg.payload.len() as u64,
             },
         );
         self.stats.sent += 1;
-        self.outbox.push_back((now + self.cfg.check_cycles, msg));
+        self.outbox.push_back((ready, msg));
         Ok(())
     }
 
@@ -474,24 +567,22 @@ impl Monitor {
 
     /// Moves ready outbound messages into the NoC (stops on backpressure).
     pub fn pump_out(&mut self, noc: &mut Noc, now: Cycle) {
-        while let Some((ready, _)) = self.outbox.front() {
+        while let Some((ready, head)) = self.outbox.front() {
             if *ready > now {
                 break;
             }
-            let (_, msg) = self.outbox.front().expect("peeked").clone();
-            match noc.try_inject(self.node, msg) {
-                Ok(_) => {
-                    self.outbox.pop_front();
-                }
-                // An unreachable or invalid destination never heals by
-                // waiting; drop the message instead of wedging the outbox
-                // behind it.
-                Err(apiary_noc::InjectError::Unreachable)
-                | Err(apiary_noc::InjectError::BadDestination) => {
-                    self.outbox.pop_front();
-                    self.stats.dropped += 1;
-                }
-                Err(_) => break,
+            // Reserve injection space *before* popping so the message is
+            // moved into the NoC rather than cloned speculatively (the old
+            // peek-then-clone copied every payload once per pump attempt).
+            if noc.inject_space(self.node, head.class) == 0 {
+                break;
+            }
+            let (_, msg) = self.outbox.pop_front().expect("peeked");
+            if noc.try_inject(self.node, msg).is_err() {
+                // Space was reserved, so the only remaining failures are an
+                // unreachable or invalid destination — neither heals by
+                // waiting; drop instead of wedging the outbox behind it.
+                self.stats.dropped += 1;
             }
         }
     }
@@ -521,7 +612,7 @@ impl Monitor {
                         src: d.msg.src.0,
                         kind: d.msg.kind,
                         tag: d.msg.tag,
-                        bytes: d.msg.payload.len() as u32,
+                        bytes: d.msg.payload.len() as u64,
                     },
                 );
                 self.stats.received += 1;
@@ -580,7 +671,7 @@ mod tests {
 
     fn ep_cap(m: &mut Monitor, dst: u16, rights: Rights) -> CapRef {
         m.install_cap(Capability::new(
-            CapKind::Endpoint(EndpointId(dst as u32)),
+            CapKind::Endpoint(EndpointId(u32::from(dst))),
             rights,
         ))
         .expect("space")
@@ -829,7 +920,7 @@ mod tests {
         let svc = ep_cap(&mut m, 3, Rights::SEND);
         m.send_mem(seg, svc, AccessKind::Read, 0x20, 8, &[], 1, Cycle(0))
             .expect("in bounds");
-        let (_, msg) = m.outbox.front().expect("queued").clone();
+        let (_, msg) = m.outbox.pop_front().expect("queued");
         let (addr, len, data) = wire_mem::decode(&msg.payload).expect("well formed");
         assert_eq!(addr, 0x4020);
         assert_eq!(len, 8);
@@ -852,6 +943,102 @@ mod tests {
             m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(3)),
             Err(SendError::Cap(_))
         ));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_an_error_not_an_alias() {
+        // Regression: endpoint 65537 used to truncate (`e.0 as u16`) and
+        // alias node 1, silently routing traffic to the wrong tile.
+        let mut m = monitor(0);
+        let cap = m
+            .install_cap(Capability::new(
+                CapKind::Endpoint(EndpointId(65_537)),
+                Rights::SEND,
+            ))
+            .expect("space");
+        assert_eq!(
+            m.send(cap, 1, 0, TrafficClass::Request, vec![1], Cycle(0)),
+            Err(SendError::InvalidEndpoint)
+        );
+        assert_eq!(m.stats().denied, 1);
+        assert_eq!(m.outbox_len(), 0, "nothing queued for the bogus id");
+        // And the reply-path lookup must not confuse it with node 1 either.
+        assert_eq!(m.find_endpoint_cap(NodeId(1)), None);
+    }
+
+    #[test]
+    fn flow_cache_skips_pipeline_on_repeat_sends() {
+        let mut m = monitor(0);
+        let cap = ep_cap(&mut m, 1, Rights::SEND);
+        m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(5))
+            .expect("first send primes the flow");
+        m.send(cap, 1, 1, TrafficClass::Request, vec![], Cycle(5))
+            .expect("second send hits the cache");
+        assert_eq!(m.stats().flow_misses, 1);
+        assert_eq!(m.stats().flow_hits, 1);
+        // First message pays check_cycles (ready at 6); the hit is ready
+        // immediately but queues behind it in FIFO order.
+        assert_eq!(m.outbox_next_ready(), Some(Cycle(6)));
+        let ready: Vec<Cycle> = m.outbox.iter().map(|(r, _)| *r).collect();
+        assert_eq!(ready, vec![Cycle(6), Cycle(5)]);
+    }
+
+    #[test]
+    fn revoke_invalidates_flow_cache() {
+        let mut m = monitor(0);
+        let cap = ep_cap(&mut m, 1, Rights::SEND);
+        m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(0))
+            .expect("primes the cache");
+        m.revoke_cap(cap).expect("live");
+        // The cached verdict must not outlive the capability.
+        assert!(matches!(
+            m.send(cap, 1, 1, TrafficClass::Request, vec![], Cycle(1)),
+            Err(SendError::Cap(_))
+        ));
+        assert_eq!(m.stats().denied, 1);
+    }
+
+    #[test]
+    fn rebind_invalidates_flow_cache() {
+        let mut m = monitor(0);
+        let cap = m
+            .install_cap(Capability::new(
+                CapKind::Service(ServiceId(9)),
+                Rights::SEND,
+            ))
+            .expect("space");
+        m.bind_service(9, NodeId(2));
+        m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(0))
+            .expect("resolves to node 2");
+        // Supervisor rewires the service to node 3: the cached verdict for
+        // the old destination must be dropped, not replayed.
+        m.bind_service(9, NodeId(3));
+        m.send(cap, 1, 1, TrafficClass::Request, vec![], Cycle(0))
+            .expect("resolves to node 3");
+        let dsts: Vec<NodeId> = m.outbox.iter().map(|(_, msg)| msg.dst).collect();
+        assert_eq!(dsts, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn flow_cache_off_restores_per_message_checks() {
+        let cfg = MonitorConfig {
+            flow_cache: false,
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::new(NodeId(0), cfg);
+        let cap = ep_cap(&mut m, 1, Rights::SEND);
+        m.send(cap, 1, 0, TrafficClass::Request, vec![], Cycle(0))
+            .expect("ok");
+        m.send(cap, 1, 1, TrafficClass::Request, vec![], Cycle(0))
+            .expect("ok");
+        assert_eq!(m.stats().flow_hits, 0);
+        assert_eq!(m.stats().flow_misses, 0);
+        let ready: Vec<Cycle> = m.outbox.iter().map(|(r, _)| *r).collect();
+        assert_eq!(
+            ready,
+            vec![Cycle(1), Cycle(1)],
+            "every message pays the pipeline"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! acks, a single retransmission timer — no per-packet state beyond the
 //! ring of unacknowledged payloads).
 
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, Payload};
 use std::collections::VecDeque;
 
 /// A data packet.
@@ -14,8 +14,9 @@ use std::collections::VecDeque;
 pub struct Packet {
     /// Sequence number.
     pub seq: u64,
-    /// Payload.
-    pub payload: Vec<u8>,
+    /// Payload, shared with the sender's unacked ring: a retransmission
+    /// re-sends the same buffer, it does not copy it.
+    pub payload: Payload,
 }
 
 /// A cumulative acknowledgement: "I have everything below `next`".
@@ -32,7 +33,7 @@ pub struct GoBackNSender {
     timeout: u64,
     base: u64,
     next_seq: u64,
-    unacked: VecDeque<Vec<u8>>,
+    unacked: VecDeque<Payload>,
     /// Deadline for the oldest unacked packet.
     timer: Option<Cycle>,
     /// Packets to (re)transmit.
@@ -88,10 +89,11 @@ impl GoBackNSender {
 
     /// Offers a payload; returns `false` (not accepted) when the window is
     /// full.
-    pub fn offer(&mut self, payload: Vec<u8>, now: Cycle) -> bool {
+    pub fn offer(&mut self, payload: impl Into<Payload>, now: Cycle) -> bool {
         if self.unacked.len() >= self.window {
             return false;
         }
+        let payload: Payload = payload.into();
         self.outbox.push_back(Packet {
             seq: self.next_seq,
             payload: payload.clone(),
@@ -181,7 +183,7 @@ impl GoBackNReceiver {
 
     /// Processes an arriving packet; returns the in-order payload (if this
     /// was the expected packet) and the ack to send back.
-    pub fn on_packet(&mut self, pkt: Packet) -> (Option<Vec<u8>>, Ack) {
+    pub fn on_packet(&mut self, pkt: Packet) -> (Option<Payload>, Ack) {
         if pkt.seq == self.expected {
             self.expected += 1;
             (
@@ -264,7 +266,7 @@ mod tests {
         let mut rx = GoBackNReceiver::new();
         let (d, ack) = rx.on_packet(Packet {
             seq: 3,
-            payload: vec![9],
+            payload: vec![9].into(),
         });
         assert!(d.is_none());
         assert_eq!(ack, Ack { next: 0 });
@@ -330,14 +332,14 @@ mod tests {
         let mut rx = GoBackNReceiver::new();
         rx.on_packet(Packet {
             seq: 0,
-            payload: vec![0],
+            payload: vec![0].into(),
         });
         rx.on_packet(Packet {
             seq: 1,
-            payload: vec![1],
+            payload: vec![1].into(),
         });
         let (data, ack) = rx.on_packet(pkts[0].clone());
-        assert_eq!(data, Some(vec![2]));
+        assert_eq!(data, Some(vec![2].into()));
         assert_eq!(ack, Ack { next: 3 });
     }
 
@@ -418,7 +420,7 @@ mod tests {
                 let (_, pkt) = data_wire.pop_front().expect("peeked");
                 let (data, ack) = rx.on_packet(pkt);
                 if let Some(d) = data {
-                    delivered.push(u64::from_le_bytes(d.try_into().expect("sized")));
+                    delivered.push(u64::from_le_bytes(d[..].try_into().expect("sized")));
                 }
                 if rng.gen_f64() > 0.3 {
                     ack_wire.push_back((now + 10, ack));

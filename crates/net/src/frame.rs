@@ -1,6 +1,6 @@
 //! Frames and the wire model.
 
-use apiary_sim::{Cycle, SimRng};
+use apiary_sim::{Cycle, Payload, SimRng};
 use std::collections::VecDeque;
 
 /// A simplified network frame (Ethernet + UDP collapsed into what the
@@ -13,8 +13,8 @@ pub struct Frame {
     pub port: u16,
     /// Request/response correlation tag.
     pub tag: u64,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (shared handle; framing never copies them).
+    pub payload: Payload,
 }
 
 impl Frame {
@@ -35,7 +35,7 @@ impl Frame {
 /// use apiary_sim::Cycle;
 ///
 /// let mut w = Wire::new(100, 8); // 100-cycle propagation, 8 B/cycle.
-/// w.push(Cycle(0), Frame { client: 0, port: 7, tag: 1, payload: vec![0; 22] });
+/// w.push(Cycle(0), Frame { client: 0, port: 7, tag: 1, payload: vec![0; 22].into() });
 /// assert_eq!(w.pop_due(Cycle(50)), None);
 /// // 64 B / 8 Bpc = 8 cycles serialisation + 100 propagation.
 /// assert!(w.pop_due(Cycle(108)).is_some());
@@ -126,7 +126,7 @@ mod tests {
             client: 1,
             port: 80,
             tag: 0,
-            payload: vec![0; bytes],
+            payload: vec![0; bytes].into(),
         }
     }
 
@@ -206,7 +206,7 @@ mod loss_tests {
                     client: 0,
                     port: 1,
                     tag: 0,
-                    payload: vec![0; 10],
+                    payload: vec![0; 10].into(),
                 },
             );
         }
@@ -249,7 +249,7 @@ mod loss_tests {
                     payload: f.payload,
                 });
                 if let Some(d) = data {
-                    delivered.push(u64::from_le_bytes(d.try_into().expect("sized")));
+                    delivered.push(u64::from_le_bytes(d[..].try_into().expect("sized")));
                 }
                 ack_wire.push(
                     now,
@@ -257,7 +257,7 @@ mod loss_tests {
                         client: 0,
                         port: 2,
                         tag: ack.next,
-                        payload: vec![],
+                        payload: Payload::empty(),
                     },
                 );
             }

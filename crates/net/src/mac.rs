@@ -130,7 +130,7 @@ impl Accelerator for EthernetTile {
                         client: cid,
                         port,
                         tag,
-                        payload: vec![0xC1; bytes],
+                        payload: vec![0xC1; bytes].into(),
                     },
                 );
             }

@@ -27,6 +27,7 @@ pub mod packet;
 pub mod router;
 pub mod topology;
 
+pub use apiary_sim::Payload;
 pub use config::NocConfig;
 pub use fault::{FaultEvent, FaultPlane, FaultPlaneConfig, FaultPlaneStats};
 pub use network::{InjectError, Noc, NocStats};

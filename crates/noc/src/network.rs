@@ -1390,7 +1390,7 @@ mod tests {
         // Tag messages with a sequence number in the payload.
         for i in 0..6u8 {
             let mut m = msg(0, 3, 24);
-            m.payload[0] = i;
+            m.payload.make_mut()[0] = i;
             m.tag = i as u64;
             noc.try_inject(NodeId(0), m).expect("space");
         }

@@ -1,7 +1,7 @@
 //! Messages, packets and flits.
 
 use crate::topology::NodeId;
-use apiary_sim::Cycle;
+use apiary_sim::{Cycle, Payload};
 use core::fmt;
 
 /// Traffic class, mapped one-to-one onto virtual channels.
@@ -58,13 +58,19 @@ pub struct Message {
     pub tag: u64,
     /// Badge of the capability the sender used (stamped by the monitor).
     pub badge: u64,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes, held by refcounted handle: forwarding, retransmitting
+    /// or keeping a message never copies the bytes.
+    pub payload: Payload,
 }
 
 impl Message {
     /// Creates a message with empty metadata.
-    pub fn new(src: NodeId, dst: NodeId, class: TrafficClass, payload: Vec<u8>) -> Message {
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        class: TrafficClass,
+        payload: impl Into<Payload>,
+    ) -> Message {
         Message {
             src,
             dst,
@@ -72,7 +78,7 @@ impl Message {
             kind: 0,
             tag: 0,
             badge: 0,
-            payload,
+            payload: payload.into(),
         }
     }
 

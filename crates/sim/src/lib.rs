@@ -28,6 +28,7 @@
 pub mod clock;
 pub mod event;
 pub mod fxmap;
+pub mod payload;
 pub mod rng;
 pub mod sched;
 pub mod stats;
@@ -35,6 +36,7 @@ pub mod stats;
 pub use clock::{Clock, Cycle};
 pub use event::{EventHandle, EventQueue};
 pub use fxmap::{FxHashMap, FxHashSet};
+pub use payload::Payload;
 pub use rng::SimRng;
 pub use sched::{clock_mode, set_clock_mode, ClockMode, Schedulable, Wakeup};
 pub use stats::{Counter, Histogram, RunningStats};

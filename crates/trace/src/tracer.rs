@@ -15,8 +15,9 @@ pub enum EventKind {
         kind: u16,
         /// Correlation tag.
         tag: u64,
-        /// Payload bytes.
-        bytes: u32,
+        /// Payload bytes (u64: bulk checkpoint-sized payloads must not
+        /// truncate the per-delivery byte accounting).
+        bytes: u64,
     },
     /// A message was delivered into a tile.
     MsgRecv {
@@ -26,8 +27,8 @@ pub enum EventKind {
         kind: u16,
         /// Correlation tag.
         tag: u64,
-        /// Payload bytes.
-        bytes: u32,
+        /// Payload bytes (u64, matching [`EventKind::MsgSend`]).
+        bytes: u64,
     },
     /// The monitor denied an outbound message (capability failure).
     SendDenied {
