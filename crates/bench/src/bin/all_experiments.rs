@@ -174,7 +174,7 @@ fn main() {
         println!();
     }
     for r in &reports {
-        results::write_result_or_exit(harness::result_file(r.id), &r.to_json());
+        results::write_report_or_exit(r);
     }
 
     let noc_active_set = bench_active_set();

@@ -9,5 +9,5 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let r = harness::run_one(apiary_bench::experiments::e19_checkpoint::report, quick);
     print!("{}", r.rendered);
-    results::write_result_or_exit(harness::result_file(r.id), &r.to_json());
+    results::write_report_or_exit(&r);
 }

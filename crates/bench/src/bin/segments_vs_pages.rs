@@ -11,5 +11,5 @@ fn main() {
         quick,
     );
     print!("{}", r.rendered);
-    results::write_result_or_exit(harness::result_file(r.id), &r.to_json());
+    results::write_report_or_exit(&r);
 }

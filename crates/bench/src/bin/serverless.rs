@@ -1,0 +1,13 @@
+//! Regenerates experiment e18_serverless (see DESIGN.md §3). Pass
+//! `--quick` for a scaled-down run. Writes the structured result to
+//! `results/e18_serverless.json` and the rendered text beside it (the
+//! parent directory is created; a failed write exits non-zero).
+
+use apiary_bench::{harness, results};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = harness::run_one(apiary_bench::experiments::e18_serverless::report, quick);
+    print!("{}", r.rendered);
+    results::write_report_or_exit(&r);
+}

@@ -17,4 +17,5 @@ pub mod e14_reconfig_churn;
 pub mod e15_memory_service;
 pub mod e16_chaos;
 pub mod e17_cluster_scaleout;
+pub mod e18_serverless;
 pub mod e19_checkpoint;

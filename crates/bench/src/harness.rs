@@ -35,6 +35,7 @@ pub const SUITE: &[ExperimentFn] = &[
     e::e15_memory_service::report,
     e::e16_chaos::report,
     e::e17_cluster_scaleout::report,
+    e::e18_serverless::report,
     e::e19_checkpoint::report,
 ];
 
@@ -66,6 +67,7 @@ pub fn result_file(id: &str) -> String {
         "E15" => "e15_memory_service",
         "E16" => "e16_chaos",
         "E17" => "e17_cluster_scaleout",
+        "E18" => "e18_serverless",
         "E19" => "e19_checkpoint",
         other => return format!("results/{}.json", other.to_ascii_lowercase()),
     };

@@ -2,8 +2,13 @@
 //!
 //! Every result-writing binary goes through [`write_result`] (creates the
 //! parent directory) and [`write_result_or_exit`] (non-zero exit on
-//! failure) so CI can never "pass" with a missing artifact.
+//! failure) so CI can never "pass" with a missing artifact. Experiments
+//! use [`write_report_or_exit`], which lands both artifacts — the
+//! structured `results/<slug>.json` and the rendered `results/<slug>.txt`
+//! — so every experiment's table is browsable without re-running it.
 
+use crate::harness;
+use crate::report::ExperimentReport;
 use std::io;
 use std::path::Path;
 
@@ -29,6 +34,19 @@ pub fn write_result_or_exit(path: impl AsRef<Path>, contents: &str) {
             std::process::exit(1);
         }
     }
+}
+
+/// Writes one experiment's artifact pair: `results/<slug>.json` (the
+/// structured report) and `results/<slug>.txt` (the rendered text).
+/// Exits non-zero if either write fails.
+pub fn write_report_or_exit(report: &ExperimentReport) {
+    let json_path = harness::result_file(report.id);
+    write_result_or_exit(&json_path, &report.to_json());
+    let txt_path = json_path
+        .strip_suffix(".json")
+        .map(|stem| format!("{stem}.txt"))
+        .unwrap_or_else(|| format!("{json_path}.txt"));
+    write_result_or_exit(&txt_path, &report.rendered);
 }
 
 #[cfg(test)]

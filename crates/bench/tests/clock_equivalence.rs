@@ -196,3 +196,58 @@ fn live_migration_clocks_agree() {
     set_clock_mode(ClockMode::Event);
     assert_eq!(event, dense, "migration diverged between clocks");
 }
+
+/// The serverless plane (bitstream fetch timers, queue deadlines,
+/// autoscale boundaries, scale-to-zero reclaims) must agree too: a burst,
+/// an idle window deep enough to reclaim, and a cold re-invoke land on
+/// identical cycles under both clocks.
+#[test]
+fn serverless_plane_clocks_agree() {
+    use apiary_cluster::ClusterConfig;
+    use apiary_faas::{FaasConfig, FaasSystem, FunctionSpec};
+    use apiary_resources::Area;
+    use std::rc::Rc;
+
+    let _guard = CLOCK.lock().unwrap();
+    let run = |mode| {
+        set_clock_mode(mode);
+        let mut s = FaasSystem::new(FaasConfig {
+            cluster: ClusterConfig {
+                boards: 2,
+                ..ClusterConfig::default()
+            },
+            autoscale_interval: 1_000,
+            idle_intervals_to_zero: 2,
+            ..FaasConfig::default()
+        });
+        for (name, luts, bytes) in [("f", 60_000u64, 4_096u64), ("g", 90_000, 6_000)] {
+            s.register(FunctionSpec {
+                name: name.to_string(),
+                footprint: Area::logic(luts, luts),
+                bitstream_bytes: bytes,
+                app: AppId(1),
+                factory: Rc::new(|| Box::new(echo(40))),
+            });
+        }
+        for i in 0u32..20 {
+            s.invoke((i % 3 == 0) as usize, i % 2, (i % 2) as u16, vec![0u8; 24]);
+            s.run(211);
+        }
+        s.run_until(200_000, |s| s.quiescent());
+        s.run(8_000); // idle across reclaim boundaries → scale to zero
+        s.invoke(0, 0, 0, vec![0u8; 24]); // cold re-invoke
+        s.run_until(200_000, |s| s.quiescent());
+        format!(
+            "{:?}|{:?}|{}|{}|{:?}",
+            s.stats(0),
+            s.stats(1),
+            s.cold_latency.histogram().p99(),
+            s.warm_latency.histogram().p99(),
+            s.now()
+        )
+    };
+    let event = run(ClockMode::Event);
+    let dense = run(ClockMode::Dense);
+    set_clock_mode(ClockMode::Event);
+    assert_eq!(event, dense, "serverless plane diverged between clocks");
+}

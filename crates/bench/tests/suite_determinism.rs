@@ -12,8 +12,7 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
     assert_eq!(serial.len(), parallel.len());
     let mut last_num = 0u32;
     for (a, b) in serial.iter().zip(&parallel) {
-        // Suite order: numeric experiment ids strictly ascending (the
-        // numbering has gaps — there is no E18).
+        // Suite order: numeric experiment ids strictly ascending.
         let num: u32 = a.id.trim_start_matches('E').parse().expect("E<n> id");
         assert!(num > last_num, "suite order: {} after E{last_num}", a.id);
         last_num = num;

@@ -578,6 +578,104 @@ impl ClusterSystem {
         Ok(warm)
     }
 
+    /// Deploys a function replica into a warm-pool slot. Unlike
+    /// [`ClusterSystem::deploy_replica`] (instantaneous install, used to
+    /// seed experiments), the bitstream is priced through the ICAP like any
+    /// partial reconfiguration, and the directory entry is published — with
+    /// the gateway wired as a client — only once the tile is back online
+    /// (via the republish queue). Returns the cycle the reconfiguration
+    /// completes: the fabric-level share of the orchestrator's cold start.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pool_deploy(
+        &mut self,
+        board: u16,
+        name: &str,
+        service: ServiceId,
+        node: NodeId,
+        app: AppId,
+        policy: FaultPolicy,
+        bitstream_bytes: u64,
+        factory: AccelFactory,
+    ) -> Result<Cycle, SystemError> {
+        let b = &mut self.boards[board as usize];
+        if !b.alive {
+            return Err(SystemError::BadNode(node));
+        }
+        let done = b
+            .sys
+            .reconfigure(node, factory(), app, policy, bitstream_bytes)?;
+        b.sys
+            .adopt_service(service, node, app, policy, bitstream_bytes, factory);
+        let meta = ReplicaMeta {
+            service,
+            node,
+            app,
+            policy,
+            bitstream_bytes,
+        };
+        b.replicas.insert(name.to_string(), meta.clone());
+        b.republish.push(Republish {
+            name: name.to_string(),
+            meta,
+        });
+        Ok(done)
+    }
+
+    /// Tears down a pooled replica (scale-to-zero): the directory entry is
+    /// withdrawn with a **tombstone** — a version bump a stale peer
+    /// snapshot cannot out-rank, so the binding stays dead cluster-wide —
+    /// the tile is decommissioned, the gateway's local cap dropped, and
+    /// every live board's remote cap against the binding proactively
+    /// revoked. Refused while the tile's bitstream is still streaming
+    /// through the ICAP: the completion would resurrect the accelerator on
+    /// a decommissioned tile. Returns the freed node.
+    pub fn pool_teardown(&mut self, board: u16, name: &str) -> Result<NodeId, SystemError> {
+        let now = self.now();
+        let bad = || SystemError::BadNode(NodeId(u16::MAX));
+        let service;
+        let node;
+        {
+            let b = &mut self.boards[board as usize];
+            if !b.alive {
+                return Err(bad());
+            }
+            let meta = b.replicas.get(name).cloned().ok_or_else(bad)?;
+            if b.sys.reconfiguring(meta.node) {
+                return Err(bad());
+            }
+            service = meta.service;
+            node = meta.node;
+            b.dir.withdraw(now, name);
+            b.sys.undeploy_service(meta.service);
+            b.local_caps.remove(&meta.service.0);
+            b.replicas.remove(name);
+            b.republish.retain(|r| r.name != name);
+        }
+        let gw = self.cfg.gateway;
+        for peer in &mut self.boards {
+            if !peer.alive {
+                continue;
+            }
+            if let Some(cap) = peer.remote_caps.remove(&(board, service.0)) {
+                if peer.sys.tile_mut(gw).monitor.revoke_cap(cap).is_ok() {
+                    self.caps_revoked += 1;
+                }
+            }
+        }
+        Ok(node)
+    }
+
+    /// Whether a board's gateway currently holds a client capability for
+    /// `service` — i.e. a local replica is wired and invokable. The
+    /// republish pass installs this cap only once the tile's bitstream has
+    /// finished loading, so it doubles as the orchestrator's "replica is
+    /// live" signal.
+    pub fn has_local_cap(&self, board: u16, service: ServiceId) -> bool {
+        self.boards[board as usize]
+            .local_caps
+            .contains_key(&service.0)
+    }
+
     /// Quiesce elapsed: capture the source replica's state and put it on
     /// the fabric (transfer time scales with state size through the link's
     /// serialization model). Aborts — republishing the source binding — if

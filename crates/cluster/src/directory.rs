@@ -273,6 +273,40 @@ mod tests {
     }
 
     #[test]
+    fn scale_to_zero_tombstone_blocks_third_board_resurrection() {
+        // Regression for the serverless scale-to-zero path: teardown must
+        // *withdraw* (tombstone) the binding, not merely let the lease
+        // lapse. With expiry alone, a peer that gossiped before learning of
+        // the teardown re-advertises the dead function to a third board,
+        // which then steers invocations at a decommissioned tile.
+        let mut home = dir(0);
+        let mut stale_peer = dir(1);
+        let mut third = dir(2);
+        assert_eq!(home.publish(Cycle(0), "fn", ServiceId(7), NodeId(3)), None);
+        stale_peer.merge(&home.snapshot());
+        third.merge(&home.snapshot());
+        assert_eq!(third.lookup_all(Cycle(1), "fn").len(), 1);
+
+        // Scale-to-zero: home withdraws. The tombstone reaches the third
+        // board, but the stale peer has not heard yet.
+        assert!(home.withdraw(Cycle(2), "fn"));
+        third.merge(&home.snapshot());
+        assert!(third.lookup_all(Cycle(3), "fn").is_empty());
+
+        // The stale peer's snapshot still carries the live (lower-version)
+        // copy. It must NOT resurrect the binding at the third board.
+        third.merge(&stale_peer.snapshot());
+        assert!(
+            third.lookup_all(Cycle(4), "fn").is_empty(),
+            "stale peer re-advertised a torn-down function"
+        );
+
+        // And once the tombstone reaches the stale peer, it converges too.
+        stale_peer.merge(&home.snapshot());
+        assert!(stale_peer.lookup_all(Cycle(5), "fn").is_empty());
+    }
+
+    #[test]
     fn lease_expiry_removes_unrenewed_entries() {
         let mut home = dir(0);
         let mut peer = dir(1);

@@ -202,6 +202,13 @@ impl System {
         self.mem_node
     }
 
+    /// Whether `node` has a partial reconfiguration in flight (its bitstream
+    /// is still streaming through the ICAP). Orchestration layers must not
+    /// tear a tile down mid-load: the completion would resurrect it.
+    pub fn reconfiguring(&self, node: NodeId) -> bool {
+        self.reconfig.in_progress(node)
+    }
+
     /// Kernel-side allocator statistics (segment memory).
     pub fn mem_stats(&self) -> apiary_mem::AllocStats {
         self.allocator.stats()

@@ -24,6 +24,8 @@
 //! | [`mem`] | Segment allocators, paging baseline, bounds checks, DRAM |
 //! | [`monitor`] | The per-tile monitor and its hardware area model |
 //! | [`core`] | The kernel: tiles, system, fault policies, reconfiguration |
+//! | [`cluster`] | Multi-board scale-out: gossip directory, balancing, migration |
+//! | [`faas`] | Serverless plane: functions, bitstream caches, autoscaling |
 //! | [`accel`] | Accelerator framework + library (video, LZ, KV, …) |
 //! | [`net`] | Network service: MAC tile, wire, clients, go-back-N ARQ |
 //! | [`host`] | Host-mediated baselines (Coyote/AmorphOS-like) + energy |
@@ -65,6 +67,7 @@ pub use apiary_accel as accel;
 pub use apiary_cap as cap;
 pub use apiary_cluster as cluster;
 pub use apiary_core as core;
+pub use apiary_faas as faas;
 pub use apiary_host as host;
 pub use apiary_mem as mem;
 pub use apiary_monitor as monitor;
